@@ -1,0 +1,64 @@
+"""Ablation: covering-based subscription propagation pruning.
+
+The paper attributes the sub-unsub baseline's sub-linear overhead growth
+(Figure 6(a)) to the covering relation: "a subscription is more likely to
+be covered by other subscriptions" as the network grows. This ablation
+measures the per-handoff subscription-flood cost of sub-unsub with
+covering on vs off at two network sizes. With this library's range
+workload covering is extremely effective (DESIGN.md discusses why), which
+is exactly what the bench demonstrates.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import run_experiment
+from repro.workload.spec import WorkloadSpec
+
+
+def flood_cost(k: int, covering: bool, seed: int = 2) -> float:
+    cfg = ExperimentConfig(
+        protocol="sub-unsub",
+        grid_k=k,
+        seed=seed,
+        covering_enabled=covering,
+        workload=WorkloadSpec(
+            clients_per_broker=5,
+            mean_connected_s=60.0,
+            mean_disconnected_s=60.0,
+            publish_interval_s=120.0,
+            duration_s=600.0,
+        ),
+    )
+    row = run_experiment(cfg)
+    assert row.missing == 0 and row.duplicates == 0
+    floods = row.overhead_by_category.get("sub_handoff", 0)
+    return floods / max(row.handoffs, 1)
+
+
+def test_covering_prunes_subscription_floods(benchmark):
+    def sweep():
+        return {
+            (k, cov): flood_cost(k, cov)
+            for k in (4, 6)
+            for cov in (False, True)
+        }
+
+    costs = run_once(benchmark, sweep)
+    benchmark.extra_info["flood_hops_per_handoff"] = {
+        f"k={k} covering={cov}": v for (k, cov), v in costs.items()
+    }
+    print()
+    for (k, cov), v in sorted(costs.items()):
+        print(f"  k={k} covering={cov!s:5}: {v:8.1f} flood hops/handoff")
+    for k in (4, 6):
+        # covering prunes the floods
+        assert costs[(k, True)] < 0.8 * costs[(k, False)]
+    # without covering the flood cost grows roughly with broker count
+    assert costs[(6, False)] > 1.5 * costs[(4, False)]
+    # covering gets relatively *more* effective with more subscriptions in
+    # the system — the paper's Figure 6(a) argument
+    ratio_small = costs[(4, True)] / costs[(4, False)]
+    ratio_large = costs[(6, True)] / costs[(6, False)]
+    assert ratio_large < ratio_small

@@ -1,0 +1,55 @@
+"""Ablation: grid-shortest-path vs overlay-tree unicast.
+
+The paper's stations "connect with each other via the shortest path in the
+network" (§5.1): handoff requests and queue streams use grid paths while
+subscriptions and events ride the overlay tree. Routing the point-to-point
+traffic over the tree instead (as a pure-overlay deployment would) pays the
+tree-stretch factor on every control and migration message. The bench
+quantifies that stretch for MHH.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.pubsub.system import PubSubSystem
+from repro.workload.mobility_model import Workload
+from repro.workload.spec import WorkloadSpec
+
+
+def overhead(unicast_routing: str, k: int = 7, seed: int = 2) -> float:
+    spec = WorkloadSpec(
+        clients_per_broker=5,
+        mean_connected_s=60.0,
+        mean_disconnected_s=60.0,
+        publish_interval_s=60.0,
+        duration_s=600.0,
+    )
+    system = PubSubSystem(
+        grid_k=k, protocol="mhh", seed=seed, unicast_routing=unicast_routing
+    )
+    workload = Workload(system, spec)
+    system.run(until=spec.duration_ms)
+    workload.stop()
+    hops = system.metrics.traffic.overhead_hops()
+    handoffs = system.metrics.handoffs.handoff_count
+    for client in workload.all_clients:
+        if not client.connected:
+            client.connect(client.last_broker or client.home_broker)
+    system.sim.run()
+    stats = system.metrics.delivery.stats
+    assert stats.missing == 0 and stats.duplicates == 0
+    return hops / max(handoffs, 1)
+
+
+def test_tree_unicast_pays_stretch_factor(benchmark):
+    def both():
+        return overhead("grid"), overhead("tree")
+
+    grid_cost, tree_cost = run_once(benchmark, both)
+    benchmark.extra_info["overhead_per_handoff"] = {
+        "grid": grid_cost, "tree": tree_cost
+    }
+    print(f"\ngrid unicast: {grid_cost:.1f} hops/handoff")
+    print(f"tree unicast: {tree_cost:.1f} hops/handoff")
+    # the overlay tree stretches point-to-point routes
+    assert tree_cost > 1.15 * grid_cost

@@ -1,0 +1,47 @@
+"""Figure 5(a): message overhead per handoff vs mean connection period.
+
+Regenerates the full sweep (three protocols x five connection periods,
+100 base stations at paper scale) and asserts the paper's qualitative
+shape:
+
+* home-broker overhead grows steeply with the connection period (triangle
+  routing amortised over ever fewer handoffs) and crosses above both other
+  protocols;
+* MHH stays flat and is the cheapest protocol at long connection periods;
+* sub-unsub sits above MHH at every point (subscription floods + backlog
+  re-shipping).
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once, series_by_protocol
+from repro.experiments.config import bench_scale
+from repro.experiments.figures import fig5a, run_fig5
+from repro.experiments.report import format_series
+
+
+def test_fig5a_overhead_vs_conn_period(benchmark):
+    scale = bench_scale()
+    rows = run_once(benchmark, run_fig5, scale=scale, seed=1)
+    series = fig5a(rows)
+    benchmark.extra_info["scale"] = scale
+    benchmark.extra_info["series"] = {
+        p: [(x, y) for x, y in pts] for p, pts in series.items()
+    }
+    print()
+    print(format_series(series, "conn_period_s", "msg overhead / handoff",
+                        title=f"Figure 5(a) [{scale}]"))
+
+    mhh = series_by_protocol(series, "mhh")
+    hb = series_by_protocol(series, "home-broker")
+    su = series_by_protocol(series, "sub-unsub")
+    xs = sorted(mhh)
+    lo, hi = xs[0], xs[-1]
+    # HB grows sharply with the connection period ...
+    assert hb[hi] > 5 * hb[lo]
+    # ... and ends far above everyone else
+    assert hb[hi] > 2 * su[hi] and hb[hi] > 2 * mhh[hi]
+    # MHH is flat: no point more than ~2.5x its minimum
+    assert max(mhh.values()) < 2.5 * min(mhh.values()) + 10
+    # sub-unsub pays floods + re-shipping above MHH at the long end
+    assert su[hi] > mhh[hi]

@@ -1,0 +1,41 @@
+"""Figure 5(b): mean handoff delay vs mean connection period.
+
+Paper shape: sub-unsub delay is far above MHH and home-broker at every
+connection period (the client must wait out the safety interval and the
+merge); MHH and home-broker are close to each other (both need roughly one
+control round trip plus the first event's flight).
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once, series_by_protocol
+from repro.experiments.config import bench_scale
+from repro.experiments.figures import fig5b, run_fig5
+from repro.experiments.report import format_series
+
+
+def test_fig5b_delay_vs_conn_period(benchmark):
+    scale = bench_scale()
+    rows = run_once(benchmark, run_fig5, scale=scale, seed=1)
+    series = fig5b(rows)
+    benchmark.extra_info["scale"] = scale
+    benchmark.extra_info["series"] = {
+        p: [(x, y) for x, y in pts] for p, pts in series.items()
+    }
+    print()
+    print(format_series(series, "conn_period_s", "handoff delay (ms)",
+                        title=f"Figure 5(b) [{scale}]"))
+
+    mhh = series_by_protocol(series, "mhh")
+    hb = series_by_protocol(series, "home-broker")
+    su = series_by_protocol(series, "sub-unsub")
+    for x in mhh:
+        if su[x] is None or mhh[x] is None or hb[x] is None:
+            continue
+        # sub-unsub waits out safety intervals before delivering anything
+        assert su[x] > mhh[x]
+        assert su[x] > hb[x]
+        # MHH and HB delays are the same kind of quantity (one round trip);
+        # they must be within a small factor of each other
+        assert mhh[x] < 3 * hb[x] + 100
+        assert hb[x] < 3 * mhh[x] + 100

@@ -1,0 +1,53 @@
+"""Figure 6(a): message overhead per handoff vs number of base stations.
+
+Paper shape: overhead grows with network size for every protocol; the
+home-broker protocol grows fastest (triangle routing worsens with
+distance) and the margins widen as the network scales; MHH stays lowest.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once, series_by_protocol
+from repro.experiments.config import bench_scale
+from repro.experiments.figures import fig6a, run_fig6
+from repro.experiments.report import format_series
+
+# grid sides per scale: the paper sweeps k in {5,7,10,12,14}
+_SIZES = {"smoke": (3, 4, 5), "small": (5, 7, 10), "paper": (5, 7, 10, 12, 14)}
+
+
+def test_fig6a_overhead_vs_network_size(benchmark):
+    scale = bench_scale()
+    rows = run_once(
+        benchmark, run_fig6, scale=scale, grid_sizes=_SIZES[scale], seed=1
+    )
+    series = fig6a(rows)
+    benchmark.extra_info["scale"] = scale
+    benchmark.extra_info["series"] = {
+        p: [(x, y) for x, y in pts] for p, pts in series.items()
+    }
+    print()
+    print(format_series(series, "base_stations", "msg overhead / handoff",
+                        title=f"Figure 6(a) [{scale}]"))
+
+    mhh = series_by_protocol(series, "mhh")
+    hb = series_by_protocol(series, "home-broker")
+    su = series_by_protocol(series, "sub-unsub")
+    xs = sorted(mhh)
+    lo, hi = xs[0], xs[-1]
+    # everyone's overhead grows with the network
+    assert mhh[hi] > mhh[lo]
+    assert su[hi] > su[lo]
+    assert hb[hi] > hb[lo]
+    # MHH is always cheaper than sub-unsub (no floods)
+    assert mhh[hi] < su[hi]
+    if scale != "smoke":
+        # HB's margin over MHH widens with size (triangle routing worsens
+        # with distance)
+        assert (hb[hi] - mhh[hi]) > (hb[lo] - mhh[lo])
+    if scale == "paper":
+        # At the paper's population density (10 clients/broker) the
+        # per-client event rate makes triangle routing dominate at the
+        # largest size: HB worst, sub-unsub in between. Smaller presets
+        # halve the population and HB's live forwarding with it.
+        assert hb[hi] > su[hi] > mhh[hi]

@@ -1,0 +1,51 @@
+"""Figure 6(b): mean handoff delay vs number of base stations.
+
+Paper shape: sub-unsub delay tracks the *maximum* broker distance (the
+overlay diameter sets its safety interval) while MHH and home-broker track
+the *average* distance, so sub-unsub sits far above the other two and the
+gap grows with the network.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once, series_by_protocol
+from repro.experiments.config import bench_scale
+from repro.experiments.figures import fig6b, run_fig6
+from repro.experiments.report import format_series
+
+_SIZES = {"smoke": (3, 4, 5), "small": (5, 7, 10), "paper": (5, 7, 10, 12, 14)}
+
+
+def test_fig6b_delay_vs_network_size(benchmark):
+    scale = bench_scale()
+    rows = run_once(
+        benchmark, run_fig6, scale=scale, grid_sizes=_SIZES[scale], seed=1
+    )
+    series = fig6b(rows)
+    benchmark.extra_info["scale"] = scale
+    benchmark.extra_info["series"] = {
+        p: [(x, y) for x, y in pts] for p, pts in series.items()
+    }
+    print()
+    print(format_series(series, "base_stations", "handoff delay (ms)",
+                        title=f"Figure 6(b) [{scale}]"))
+
+    mhh = series_by_protocol(series, "mhh")
+    hb = series_by_protocol(series, "home-broker")
+    su = series_by_protocol(series, "sub-unsub")
+    xs = sorted(mhh)
+    hi = xs[-1]
+    for x in xs:
+        assert su[x] > mhh[x]
+        assert su[x] > hb[x]
+    # MHH tracks HB (average-distance round trips)
+    assert mhh[hi] < 3 * hb[hi] + 100
+    if scale != "smoke":
+        # sub-unsub's *protocol* component grows with the network (its
+        # safety interval is diameter-driven). At smoke scale the shared
+        # waiting-for-a-fresh-event noise dominates the absolute delays, so
+        # the growth is asserted on the protocol gap over MHH (the noise is
+        # identical across protocols: same seeds, same workload).
+        gap_lo = su[xs[0]] - mhh[xs[0]]
+        gap_hi = su[hi] - mhh[hi]
+        assert gap_hi > gap_lo

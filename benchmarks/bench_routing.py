@@ -1,0 +1,52 @@
+"""Microbenchmark: end-to-end event dissemination throughput.
+
+Floods events through a static k=7 system (245 subscriptions) and measures
+wall time per simulated publication — the cost driver of every figure
+sweep.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.pubsub.filters import RangeFilter
+from repro.pubsub.system import PubSubSystem
+from repro.sim.rng import RandomStreams
+
+N_EVENTS = 1_500
+
+
+def build_static(k: int = 7, clients_per_broker: int = 5, seed: int = 3):
+    system = PubSubSystem(grid_k=k, protocol="mhh", seed=seed)
+    streams = RandomStreams(seed)
+    sub_rng = streams.stream("bench/subs")
+    for b in range(k * k):
+        for _ in range(clients_per_broker):
+            w = float(sub_rng.uniform(0.0, 0.125))
+            lo = float(sub_rng.uniform(0.0, 1.0 - w))
+            c = system.add_client(RangeFilter(lo, lo + w), broker=b)
+            c.connect(b)
+    system.run(until=5_000.0)
+    return system
+
+
+def flood(system, n: int) -> int:
+    rng = RandomStreams(9).stream("bench/topics")
+    publisher = next(iter(system.clients.values()))
+    for _ in range(n):
+        publisher.publish(float(rng.uniform()))
+        system.run(until=system.sim.now + 50.0)
+    system.sim.run()
+    return system.metrics.delivery.stats.delivered
+
+
+def test_event_dissemination_throughput(benchmark):
+    def run():
+        system = build_static()
+        return flood(system, N_EVENTS), system
+
+    delivered, system = run_once(benchmark, run)
+    stats = system.metrics.delivery.stats
+    assert stats.delivered == stats.expected
+    assert stats.duplicates == 0
+    benchmark.extra_info["events"] = N_EVENTS
+    benchmark.extra_info["deliveries"] = delivered

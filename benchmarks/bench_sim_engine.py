@@ -1,0 +1,58 @@
+"""Microbenchmark: raw scheduler throughput.
+
+The scheduler is the innermost loop of every experiment; this bench tracks
+its event throughput (schedule + fire) and the cost of the process layer on
+top, so regressions in the hot path are visible independently of protocol
+logic.
+"""
+
+from __future__ import annotations
+
+from repro.sim.core import Simulator
+from repro.sim.process import spawn
+
+N_EVENTS = 200_000
+
+
+def pump_callbacks(n: int) -> int:
+    sim = Simulator()
+    fired = 0
+
+    def tick():
+        nonlocal fired
+        fired += 1
+        if fired < n:
+            sim.schedule(1.0, tick)
+
+    # seed a handful of concurrent chains like a real broker network
+    for i in range(100):
+        sim.schedule(float(i % 7), tick)
+    sim.run()
+    return fired
+
+
+def pump_processes(n: int) -> int:
+    sim = Simulator()
+    done = 0
+
+    def worker(steps):
+        nonlocal done
+        for _ in range(steps):
+            yield 1.0
+        done += 1
+
+    for _ in range(50):
+        spawn(sim, worker(n // 50))
+    sim.run()
+    return done
+
+
+def test_scheduler_throughput(benchmark):
+    fired = benchmark(pump_callbacks, N_EVENTS)
+    assert fired >= N_EVENTS
+    benchmark.extra_info["events"] = fired
+
+
+def test_process_layer_throughput(benchmark):
+    done = benchmark(pump_processes, 100_000)
+    assert done == 50

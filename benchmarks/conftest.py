@@ -1,0 +1,39 @@
+"""Shared benchmark utilities.
+
+Every benchmark runs a complete simulation (or sweep) exactly once per
+timing round — simulations are deterministic per seed, so repeated timing
+rounds would only re-measure identical work. The *figure* benches attach
+the regenerated series to ``benchmark.extra_info`` so the recorded .json
+artifacts carry the reproduced numbers alongside the timings, and they
+assert the paper's qualitative shapes (who wins, where the crossovers
+fall).
+
+Scale: ``MHH_BENCH_SCALE`` environment variable — ``smoke`` (default; CI
+speed), ``small``, or ``paper`` (full Section 5.1 parameters; minutes per
+figure). EXPERIMENTS.md records a paper-scale run.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import pytest
+
+
+def run_once(benchmark, fn: Callable, *args, **kwargs):
+    """Time ``fn`` with one round/one iteration (deterministic workloads)."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)
+
+
+def series_by_protocol(series: dict, protocol: str) -> dict:
+    """x -> y lookup for one protocol's series."""
+    return {x: y for x, y in series[protocol]}
+
+
+@pytest.fixture
+def bench_once(benchmark):
+    def _run(fn, *args, **kwargs):
+        return run_once(benchmark, fn, *args, **kwargs)
+
+    return _run

@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Stock-ticker scenario: a mobile trader roaming between venues.
+
+The pub/sub deployment models a brokerage's edge network: a 5x5 grid of
+event brokers, exchange gateways publishing quote events (the ``topic``
+axis encodes the instrument's sector bucket), desk clients with standing
+subscriptions, and one trader on the move with a tablet.
+
+The trader hops between office floors / sites (silent moves) while quotes
+keep flowing. MHH keeps the quote stream exactly-once and in per-gateway
+order, and the trader starts receiving quotes again a few hundred
+milliseconds after each reconnect — no re-subscription round trip across
+the whole overlay.
+
+Run:  python examples/stock_ticker.py
+"""
+
+from repro import PubSubSystem, RangeFilter
+from repro.sim.rng import RandomStreams
+
+TECH = (0.10, 0.25)     # sector bucket the trader cares about
+N_GATEWAYS = 4
+QUOTES_PER_GATEWAY = 30
+
+
+def main() -> None:
+    system = PubSubSystem(grid_k=5, protocol="mhh", seed=7)
+    rng = RandomStreams(7).stream("quotes")
+
+    # exchange gateways in the corners publish quotes for all sectors
+    gateways = []
+    for corner in (0, 4, 20, 24):
+        gw = system.add_client(RangeFilter(2.0, 2.0), broker=corner)
+        gw.connect(corner)
+        gateways.append(gw)
+
+    # desk clients with standing sector subscriptions
+    for b, (lo, hi) in enumerate([(0.0, 0.3), (0.3, 0.6), (0.6, 1.0)]):
+        desk = system.add_client(RangeFilter(lo, hi), broker=5 + b)
+        desk.connect(5 + b)
+
+    # the roaming trader: tech-sector subscription, starts at broker 12
+    trader = system.add_client(RangeFilter(*TECH), broker=12, mobile=True)
+    trader.connect(12)
+    system.run(until=3_000.0)
+
+    trader_route = [12, 18, 3, 22]  # floors/sites visited during the day
+    quotes_sent = 0
+    for leg, next_site in enumerate(trader_route[1:], start=1):
+        # quotes flow while the trader works...
+        for gw in gateways:
+            for _ in range(QUOTES_PER_GATEWAY // len(trader_route)):
+                gw.publish(topic=float(rng.uniform()))
+                quotes_sent += 1
+        system.run(until=system.sim.now + 5_000.0)
+        # ... then the tablet goes dark and reappears at the next site
+        trader.disconnect()
+        system.run(until=system.sim.now + 2_000.0)
+        trader.connect(next_site)
+        system.run(until=system.sim.now + 3_000.0)
+    system.run()
+
+    stats = system.metrics.delivery.stats
+    handoffs = system.metrics.handoffs
+    print(f"quotes published:        {quotes_sent}")
+    print(f"deliveries (all desks):  {stats.delivered} "
+          f"(expected {stats.expected})")
+    print(f"trader handoffs:         {handoffs.handoff_count}")
+    print(f"mean handoff delay:      {handoffs.mean_delay():.0f} ms")
+    print(f"duplicates / reorders:   {stats.duplicates} / "
+          f"{stats.order_violations}")
+
+    assert stats.delivered == stats.expected
+    assert stats.duplicates == 0 and stats.order_violations == 0
+    assert handoffs.handoff_count == len(trader_route) - 1
+    print("OK: the trader never lost a quote while roaming")
+
+
+if __name__ == "__main__":
+    main()

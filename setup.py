@@ -1,0 +1,6 @@
+"""Setup shim: enables legacy editable installs in offline environments
+whose setuptools predates PEP 660 editable-wheel support."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,52 @@
+"""Exception hierarchy for the MHH reproduction library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything coming out of the package with a single ``except`` clause
+while still being able to discriminate the failure domain.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class SimulationError(ReproError):
+    """Errors raised by the discrete-event simulation engine."""
+
+
+class SchedulingError(SimulationError):
+    """Raised when an event is scheduled into the past or after shutdown."""
+
+
+class TopologyError(ReproError):
+    """Raised for malformed or disconnected network topologies."""
+
+
+class RoutingError(ReproError):
+    """Raised when a route lookup fails (unknown destination, no next hop)."""
+
+
+class FilterError(ReproError):
+    """Raised for malformed subscription filters or constraints."""
+
+
+class ProtocolError(ReproError):
+    """Raised when a mobility protocol reaches an impossible state.
+
+    These indicate implementation bugs (violated protocol invariants), not
+    user errors, and are never expected during a correctly configured run.
+    """
+
+
+class ClientStateError(ReproError):
+    """Raised on invalid client life-cycle transitions.
+
+    Example: connecting a client that is already connected, or publishing
+    from a disconnected client.
+    """
+
+
+class ConfigurationError(ReproError):
+    """Raised for invalid experiment or workload configuration values."""

@@ -1,0 +1,86 @@
+"""Command-line entry point: regenerate the paper's figures.
+
+Usage::
+
+    python -m repro.experiments.cli fig5a [--scale smoke|small|paper] [--seed N]
+    python -m repro.experiments.cli fig6b --scale paper
+    python -m repro.experiments.cli all --scale small
+
+``fig5a``/``fig5b`` share one sweep, as do ``fig6a``/``fig6b``; asking for
+both panels of a figure runs the sweep once.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.experiments import figures, report
+
+__all__ = ["main"]
+
+_FIG5 = {"fig5a", "fig5b"}
+_FIG6 = {"fig6a", "fig6b"}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments.cli",
+        description="Regenerate the MHH paper's evaluation figures.",
+    )
+    parser.add_argument(
+        "figure",
+        choices=sorted(_FIG5 | _FIG6 | {"fig5", "fig6", "all"}),
+        help="which figure (or panel) to regenerate",
+    )
+    parser.add_argument("--scale", default="small",
+                        choices=["smoke", "small", "paper"])
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--raw", action="store_true",
+                        help="also print the full per-run result table")
+    args = parser.parse_args(argv)
+
+    want = {args.figure}
+    if args.figure == "fig5":
+        want = _FIG5
+    elif args.figure == "fig6":
+        want = _FIG6
+    elif args.figure == "all":
+        want = _FIG5 | _FIG6
+
+    out: list[str] = []
+    if want & _FIG5:
+        rows5 = figures.run_fig5(scale=args.scale, seed=args.seed)
+        if "fig5a" in want:
+            out.append(report.format_series(
+                figures.fig5a(rows5), "conn_period_s", "msg overhead / handoff",
+                title="Figure 5(a): message overhead per handoff vs connection period",
+            ))
+        if "fig5b" in want:
+            out.append(report.format_series(
+                figures.fig5b(rows5), "conn_period_s", "handoff delay (ms)",
+                title="Figure 5(b): handoff delay vs connection period",
+            ))
+        if args.raw:
+            out.append(report.format_table(rows5, title="Figure 5 raw runs"))
+    if want & _FIG6:
+        rows6 = figures.run_fig6(scale=args.scale, seed=args.seed)
+        if "fig6a" in want:
+            out.append(report.format_series(
+                figures.fig6a(rows6), "base_stations", "msg overhead / handoff",
+                title="Figure 6(a): message overhead per handoff vs network size",
+            ))
+        if "fig6b" in want:
+            out.append(report.format_series(
+                figures.fig6b(rows6), "base_stations", "handoff delay (ms)",
+                title="Figure 6(b): handoff delay vs network size",
+            ))
+        if args.raw:
+            out.append(report.format_table(rows6, title="Figure 6 raw runs"))
+    print("\n\n".join(out))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

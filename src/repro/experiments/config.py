@@ -1,0 +1,71 @@
+"""Experiment configuration and scale presets.
+
+``paper`` scale matches Section 5.1 exactly (k=10 / size sweep, 10 clients
+per broker, 20 % mobile, exponential 5-minute periods, one event per client
+per 5 minutes, 6.25 % matching). ``small`` and ``smoke`` shrink the grid,
+population and measurement window proportionally so tests and default
+benchmark runs finish quickly while preserving every ratio that shapes the
+curves (mobility timescales vs link latencies, match fraction, backlog per
+disconnection).
+
+Select the benchmark scale with the ``MHH_BENCH_SCALE`` environment
+variable (``smoke`` | ``small`` | ``paper``).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field, replace
+from typing import Any, Optional
+
+from repro.errors import ConfigurationError
+from repro.workload.spec import WorkloadSpec
+
+__all__ = ["ExperimentConfig", "SCALES", "bench_scale"]
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """One simulation run: a protocol on a grid under a workload."""
+
+    protocol: str
+    grid_k: int = 10
+    seed: int = 1
+    workload: WorkloadSpec = field(default_factory=WorkloadSpec)
+    migration_batch_size: int = 10
+    #: override covering (None = protocol default)
+    covering_enabled: Optional[bool] = None
+    #: hard wall on the drain phase in simulated ms (None = unbounded)
+    drain_limit_ms: Optional[float] = None
+
+    def with_workload(self, **changes: Any) -> "ExperimentConfig":
+        return replace(self, workload=replace(self.workload, **changes))
+
+    def label(self) -> str:
+        return (
+            f"{self.protocol} k={self.grid_k} "
+            f"conn={self.workload.mean_connected_s:g}s "
+            f"disc={self.workload.mean_disconnected_s:g}s "
+            f"T={self.workload.duration_s:g}s seed={self.seed}"
+        )
+
+
+#: named presets shrinking the paper's setup for fast runs
+SCALES: dict[str, dict[str, Any]] = {
+    # full Section 5.1 parameters
+    "paper": {"grid_k": 10, "clients_per_broker": 10, "duration_s": 2400.0},
+    # ~4x smaller population, same time constants
+    "small": {"grid_k": 7, "clients_per_broker": 5, "duration_s": 1200.0},
+    # minutes of simulated time, tiny grid: CI-speed
+    "smoke": {"grid_k": 4, "clients_per_broker": 4, "duration_s": 600.0},
+}
+
+
+def bench_scale(default: str = "smoke") -> str:
+    """Benchmark scale from ``MHH_BENCH_SCALE`` (validated)."""
+    scale = os.environ.get("MHH_BENCH_SCALE", default)
+    if scale not in SCALES:
+        raise ConfigurationError(
+            f"MHH_BENCH_SCALE must be one of {sorted(SCALES)}, got {scale!r}"
+        )
+    return scale

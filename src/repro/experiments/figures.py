@@ -1,0 +1,156 @@
+"""Sweep drivers regenerating the paper's figures.
+
+* Figure 5 (a: message overhead per handoff, b: mean handoff delay) —
+  100 base stations, mean disconnection period 5 min, mean connection
+  period swept over {1, 10, 100, 1000, 10000} s.
+* Figure 6 (a: overhead, b: delay) — connection = disconnection = 5 min,
+  base stations swept over {25, 49, 100, 144, 196} (k in {5, 7, 10, 12, 14}).
+
+All three protocols of the paper run on the *identical* workload (same
+seed-derived random streams for subscriptions, publishing and movement), so
+curve differences are protocol effects, not sampling noise.
+
+Measurement windows adapt to the sweep point: at least ~1.2 mobility cycles
+(so every mobile client hands off at least about once) and at least the
+scale preset's base duration.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.experiments.config import SCALES, ExperimentConfig
+from repro.experiments.runner import run_experiment
+from repro.metrics.summary import ResultRow
+from repro.workload.spec import WorkloadSpec
+
+__all__ = [
+    "CONN_PERIOD_SWEEP_S",
+    "GRID_SIZE_SWEEP",
+    "PROTOCOLS_UNDER_TEST",
+    "run_fig5",
+    "run_fig6",
+    "fig5a",
+    "fig5b",
+    "fig6a",
+    "fig6b",
+]
+
+#: Figure 5 x-axis: mean connection period (seconds)
+CONN_PERIOD_SWEEP_S: tuple[float, ...] = (1.0, 10.0, 100.0, 1000.0, 10_000.0)
+#: Figure 6 x-axis: grid side (k^2 base stations: 25 ... 196)
+GRID_SIZE_SWEEP: tuple[int, ...] = (5, 7, 10, 12, 14)
+#: the protocols the paper compares
+PROTOCOLS_UNDER_TEST: tuple[str, ...] = ("mhh", "sub-unsub", "home-broker")
+
+
+def _duration_s(base_s: float, conn_s: float, disc_s: float) -> float:
+    """Measurement window: >= base and >= ~1.2 mobility cycles."""
+    return max(base_s, 1.2 * (conn_s + disc_s))
+
+
+def _sweep_conn(
+    scale: str,
+    protocols: Sequence[str],
+    conn_periods_s: Sequence[float],
+    seed: int,
+) -> list[ResultRow]:
+    preset = SCALES[scale]
+    rows: list[ResultRow] = []
+    for conn_s in conn_periods_s:
+        for protocol in protocols:
+            spec = WorkloadSpec(
+                clients_per_broker=preset["clients_per_broker"],
+                mean_connected_s=conn_s,
+                mean_disconnected_s=300.0,
+                duration_s=_duration_s(preset["duration_s"], conn_s, 300.0),
+            )
+            cfg = ExperimentConfig(
+                protocol=protocol,
+                grid_k=preset["grid_k"],
+                seed=seed,
+                workload=spec,
+            )
+            rows.append(run_experiment(cfg))
+    return rows
+
+
+def _sweep_size(
+    scale: str,
+    protocols: Sequence[str],
+    grid_sizes: Sequence[int],
+    seed: int,
+) -> list[ResultRow]:
+    preset = SCALES[scale]
+    rows: list[ResultRow] = []
+    for k in grid_sizes:
+        for protocol in protocols:
+            spec = WorkloadSpec(
+                clients_per_broker=preset["clients_per_broker"],
+                mean_connected_s=300.0,
+                mean_disconnected_s=300.0,
+                duration_s=_duration_s(preset["duration_s"], 300.0, 300.0),
+            )
+            cfg = ExperimentConfig(
+                protocol=protocol, grid_k=k, seed=seed, workload=spec
+            )
+            rows.append(run_experiment(cfg))
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# public sweep entry points
+# ---------------------------------------------------------------------------
+def run_fig5(
+    scale: str = "paper",
+    protocols: Sequence[str] = PROTOCOLS_UNDER_TEST,
+    conn_periods_s: Optional[Sequence[float]] = None,
+    seed: int = 1,
+) -> list[ResultRow]:
+    """Both panels of Figure 5 share one sweep; run it once."""
+    return _sweep_conn(
+        scale, protocols, conn_periods_s or CONN_PERIOD_SWEEP_S, seed
+    )
+
+
+def run_fig6(
+    scale: str = "paper",
+    protocols: Sequence[str] = PROTOCOLS_UNDER_TEST,
+    grid_sizes: Optional[Sequence[int]] = None,
+    seed: int = 1,
+) -> list[ResultRow]:
+    """Both panels of Figure 6 share one sweep; run it once."""
+    return _sweep_size(scale, protocols, grid_sizes or GRID_SIZE_SWEEP, seed)
+
+
+def _series(
+    rows: list[ResultRow], x_key: str, y_attr: str
+) -> dict[str, list[tuple[float, Optional[float]]]]:
+    out: dict[str, list[tuple[float, Optional[float]]]] = {}
+    for row in rows:
+        out.setdefault(row.protocol, []).append(
+            (row.params[x_key], getattr(row, y_attr))
+        )
+    for series in out.values():
+        series.sort()
+    return out
+
+
+def fig5a(rows: list[ResultRow]) -> dict[str, list[tuple[float, Optional[float]]]]:
+    """Figure 5(a): msg overhead / handoff vs mean connection period."""
+    return _series(rows, "conn_s", "overhead_per_handoff")
+
+
+def fig5b(rows: list[ResultRow]) -> dict[str, list[tuple[float, Optional[float]]]]:
+    """Figure 5(b): handoff delay (ms) vs mean connection period."""
+    return _series(rows, "conn_s", "mean_handoff_delay_ms")
+
+
+def fig6a(rows: list[ResultRow]) -> dict[str, list[tuple[float, Optional[float]]]]:
+    """Figure 6(a): msg overhead / handoff vs number of base stations."""
+    return _series(rows, "brokers", "overhead_per_handoff")
+
+
+def fig6b(rows: list[ResultRow]) -> dict[str, list[tuple[float, Optional[float]]]]:
+    """Figure 6(b): handoff delay (ms) vs number of base stations."""
+    return _series(rows, "brokers", "mean_handoff_delay_ms")

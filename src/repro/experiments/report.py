@@ -1,0 +1,78 @@
+"""Plain-text rendering of result rows and figure series."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.metrics.summary import ResultRow
+
+__all__ = ["format_table", "format_series"]
+
+
+def _fmt(v: object) -> str:
+    if v is None:
+        return "-"
+    if isinstance(v, float):
+        return f"{v:.1f}"
+    return str(v)
+
+
+def format_table(rows: Sequence[ResultRow], title: str = "") -> str:
+    """Render rows as an aligned text table (one line per run)."""
+    headers = [
+        "protocol", "k", "conn_s", "handoffs",
+        "overhead/handoff", "delay_ms", "median_ms",
+        "expected", "delivered", "dup", "ooo", "lost", "missing",
+    ]
+    table: list[list[str]] = [headers]
+    for r in rows:
+        table.append([
+            r.protocol,
+            _fmt(r.params.get("k")),
+            _fmt(r.params.get("conn_s")),
+            _fmt(r.handoffs),
+            _fmt(r.overhead_per_handoff),
+            _fmt(r.mean_handoff_delay_ms),
+            _fmt(r.median_handoff_delay_ms),
+            _fmt(r.expected_deliveries),
+            _fmt(r.delivered),
+            _fmt(r.duplicates),
+            _fmt(r.order_violations),
+            _fmt(r.lost),
+            _fmt(r.missing),
+        ])
+    widths = [max(len(row[i]) for row in table) for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    for i, row in enumerate(table):
+        lines.append("  ".join(cell.rjust(w) for cell, w in zip(row, widths)))
+        if i == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def format_series(
+    series: dict[str, list[tuple[float, Optional[float]]]],
+    x_label: str,
+    y_label: str,
+    title: str = "",
+) -> str:
+    """Render a figure's per-protocol series as aligned columns."""
+    xs = sorted({x for pts in series.values() for x, _ in pts})
+    protocols = sorted(series)
+    lines = []
+    if title:
+        lines.append(title)
+    header = [x_label.rjust(12)] + [p.rjust(14) for p in protocols]
+    lines.append("".join(header) + f"    ({y_label})")
+    lookup = {
+        p: {x: y for x, y in pts} for p, pts in series.items()
+    }
+    for x in xs:
+        cells = [f"{x:g}".rjust(12)]
+        for p in protocols:
+            y = lookup[p].get(x)
+            cells.append(("-" if y is None else f"{y:.1f}").rjust(14))
+        lines.append("".join(cells))
+    return "\n".join(lines)

@@ -1,0 +1,138 @@
+"""Delivery checking: exactly-once, per-publisher order, loss.
+
+Ground truth: at publish time every event is matched against the static set
+of client subscriptions (vectorised over numpy arrays), yielding the exact
+expected delivery count per client. At the end of a run (after the runner's
+drain phase) the checker reconciles:
+
+    expected == delivered_unique + explicitly_lost        (per client)
+
+and reports duplicates (same event delivered twice to one client) and
+per-publisher order violations (event with a lower sequence number delivered
+after a higher one from the same publisher).
+
+The paper claims MHH and sub-unsub are reliable and ordered while the
+home-broker protocol loses in-transit events; the integration tests assert
+exactly that against this checker.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.pubsub.events import Notification
+
+__all__ = ["DeliveryChecker", "DeliveryStats"]
+
+
+@dataclass
+class DeliveryStats:
+    """Aggregate reliability counters for one run."""
+
+    published: int = 0
+    expected: int = 0
+    delivered: int = 0
+    duplicates: int = 0
+    order_violations: int = 0
+    lost_explicit: int = 0
+
+    @property
+    def missing(self) -> int:
+        """Expected deliveries neither performed nor explicitly lost."""
+        return self.expected - (self.delivered - self.duplicates) - self.lost_explicit
+
+
+class DeliveryChecker:
+    """Streaming reliability auditor.
+
+    Register every subscription before the run starts (subscriptions are
+    static in the paper's workload); feed it publishes and deliveries as
+    they happen.
+    """
+
+    def __init__(self) -> None:
+        self._sub_clients: list[int] = []
+        self._sub_lo: list[float] = []
+        self._sub_hi: list[float] = []
+        self._arrays: Optional[tuple[np.ndarray, np.ndarray, np.ndarray]] = None
+        self.expected_per_client: dict[int, int] = {}
+        self.delivered_per_client: dict[int, int] = {}
+        # (client, publisher) -> set of delivered seqs (duplicate detection)
+        self._seen: dict[tuple[int, int], set[int]] = {}
+        # (client, publisher) -> highest seq delivered so far (order check)
+        self._max_seq: dict[tuple[int, int], int] = {}
+        self.stats = DeliveryStats()
+        # optional sink recording (client, event_id, time) tuples
+        self.record_log = False
+        self.log: list[tuple[int, int, float]] = []
+
+    # ------------------------------------------------------------------
+    def register_subscription(self, client: int, lo: float, hi: float) -> None:
+        """Declare that ``client`` subscribes to topics in [lo, hi]."""
+        self._sub_clients.append(client)
+        self._sub_lo.append(lo)
+        self._sub_hi.append(hi)
+        self._arrays = None
+        self.expected_per_client.setdefault(client, 0)
+        self.delivered_per_client.setdefault(client, 0)
+
+    def _ensure_arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        if self._arrays is None:
+            self._arrays = (
+                np.asarray(self._sub_clients, dtype=np.int64),
+                np.asarray(self._sub_lo, dtype=np.float64),
+                np.asarray(self._sub_hi, dtype=np.float64),
+            )
+        return self._arrays
+
+    def matching_clients(self, topic: float) -> np.ndarray:
+        clients, lo, hi = self._ensure_arrays()
+        mask = (lo <= topic) & (topic <= hi)
+        return clients[mask]
+
+    # ------------------------------------------------------------------
+    def on_publish(self, event: Notification) -> None:
+        self.stats.published += 1
+        matched = self.matching_clients(event.topic)
+        self.stats.expected += int(matched.size)
+        for cid in matched:
+            self.expected_per_client[int(cid)] += 1
+
+    def on_delivery(self, client: int, event: Notification, time: float) -> None:
+        self.stats.delivered += 1
+        self.delivered_per_client[client] = (
+            self.delivered_per_client.get(client, 0) + 1
+        )
+        pair = (client, event.publisher)
+        seen = self._seen.get(pair)
+        if seen is None:
+            seen = set()
+            self._seen[pair] = seen
+        if event.seq in seen:
+            self.stats.duplicates += 1
+        else:
+            seen.add(event.seq)
+            prev = self._max_seq.get(pair, -1)
+            if event.seq < prev:
+                self.stats.order_violations += 1
+            else:
+                self._max_seq[pair] = event.seq
+        if self.record_log:
+            self.log.append((client, event.event_id, time))
+
+    def on_loss(self, client: int, event: Notification) -> None:
+        """An event for ``client`` was irrecoverably dropped (home-broker)."""
+        self.stats.lost_explicit += 1
+
+    # ------------------------------------------------------------------
+    def per_client_missing(self) -> dict[int, int]:
+        """Clients with expected deliveries unaccounted for (diagnostics)."""
+        out = {}
+        for cid, exp in self.expected_per_client.items():
+            got = self.delivered_per_client.get(cid, 0)
+            if exp != got:
+                out[cid] = exp - got
+        return out

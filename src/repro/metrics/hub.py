@@ -1,0 +1,64 @@
+"""MetricsHub: the single metrics facade wired into the system.
+
+Bundles the traffic meter, delivery checker and handoff log behind the small
+callback surface the pub/sub core calls (publish / delivery / connect /
+disconnect / loss), so brokers and clients need exactly one reference.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.metrics.delivery import DeliveryChecker
+from repro.metrics.handoff import HandoffLog
+from repro.metrics.traffic import TrafficMeter
+from repro.pubsub.events import Notification
+
+__all__ = ["MetricsHub"]
+
+
+class MetricsHub:
+    """Aggregates all run metrics; one instance per system."""
+
+    def __init__(self) -> None:
+        self.traffic = TrafficMeter()
+        self.delivery = DeliveryChecker()
+        self.handoffs = HandoffLog()
+
+    # -- link layer hook -------------------------------------------------
+    def account(self, category: str, hops: int, wireless: bool) -> None:
+        self.traffic.account(category, hops, wireless)
+
+    # -- client life-cycle hooks ------------------------------------------
+    def on_client_connect(
+        self,
+        client: int,
+        time: float,
+        last_broker: Optional[int],
+        new_broker: int,
+    ) -> None:
+        self.handoffs.on_connect(client, time, last_broker, new_broker)
+
+    def on_client_disconnect(self, client: int, time: float) -> None:
+        self.handoffs.on_disconnect(client, time)
+
+    # -- pub/sub hooks ----------------------------------------------------
+    def on_publish(self, event: Notification) -> None:
+        self.delivery.on_publish(event)
+
+    def on_delivery(self, client: int, event: Notification, time: float) -> None:
+        self.delivery.on_delivery(client, event, time)
+        self.handoffs.on_delivery(client, time)
+
+    def on_loss(self, client: int, event: Notification) -> None:
+        self.delivery.on_loss(client, event)
+
+    # -- derived metrics ---------------------------------------------------
+    def overhead_per_handoff(self) -> Optional[float]:
+        n = self.handoffs.handoff_count
+        if n == 0:
+            return None
+        return self.traffic.overhead_hops() / n
+
+    def mean_handoff_delay(self) -> Optional[float]:
+        return self.handoffs.mean_delay()

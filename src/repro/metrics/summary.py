@@ -1,0 +1,79 @@
+"""Result rows: the per-run summary used by the experiment harness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.metrics.hub import MetricsHub
+
+__all__ = ["ResultRow", "summarize"]
+
+
+@dataclass
+class ResultRow:
+    """One (protocol, parameter point) result — one point of a paper figure."""
+
+    protocol: str
+    params: dict[str, Any] = field(default_factory=dict)
+    handoffs: int = 0
+    overhead_per_handoff: Optional[float] = None
+    mean_handoff_delay_ms: Optional[float] = None
+    median_handoff_delay_ms: Optional[float] = None
+    published: int = 0
+    expected_deliveries: int = 0
+    delivered: int = 0
+    duplicates: int = 0
+    order_violations: int = 0
+    lost: int = 0
+    missing: int = 0
+    overhead_by_category: dict[str, int] = field(default_factory=dict)
+    sim_events: int = 0
+    wall_seconds: float = 0.0
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "protocol": self.protocol,
+            **self.params,
+            "handoffs": self.handoffs,
+            "overhead_per_handoff": self.overhead_per_handoff,
+            "mean_handoff_delay_ms": self.mean_handoff_delay_ms,
+            "median_handoff_delay_ms": self.median_handoff_delay_ms,
+            "published": self.published,
+            "expected": self.expected_deliveries,
+            "delivered": self.delivered,
+            "duplicates": self.duplicates,
+            "order_violations": self.order_violations,
+            "lost": self.lost,
+            "missing": self.missing,
+        }
+
+
+def summarize(
+    protocol: str,
+    metrics: "MetricsHub",
+    params: Mapping[str, Any],
+    sim_events: int = 0,
+    wall_seconds: float = 0.0,
+) -> ResultRow:
+    """Condense a run's MetricsHub into a ResultRow."""
+    stats = metrics.delivery.stats
+    return ResultRow(
+        protocol=protocol,
+        params=dict(params),
+        handoffs=metrics.handoffs.handoff_count,
+        overhead_per_handoff=metrics.overhead_per_handoff(),
+        mean_handoff_delay_ms=metrics.mean_handoff_delay(),
+        median_handoff_delay_ms=metrics.handoffs.median_delay(),
+        published=stats.published,
+        expected_deliveries=stats.expected,
+        delivered=stats.delivered,
+        duplicates=stats.duplicates,
+        order_violations=stats.order_violations,
+        lost=stats.lost_explicit,
+        missing=stats.missing,
+        overhead_by_category=dict(metrics.traffic.by_category()),
+        sim_events=sim_events,
+        wall_seconds=wall_seconds,
+    )

@@ -1,0 +1,55 @@
+"""Traffic accounting.
+
+"Network traffic is measured as the total hops that all messages traveled in
+the network" (paper §5.1). The meter sums wired hops per message category;
+the overhead metric adds up the categories in
+:data:`repro.pubsub.messages.OVERHEAD_CATEGORIES` (rationale in DESIGN.md).
+Wireless transmissions are tallied separately and excluded from overhead for
+all protocols alike (final delivery over the air happens identically in each
+protocol).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterable, Mapping
+
+from repro.pubsub.messages import OVERHEAD_CATEGORIES
+
+__all__ = ["TrafficMeter"]
+
+
+class TrafficMeter:
+    """Sums wired hops per category; plugs into the link layer."""
+
+    def __init__(self) -> None:
+        self.wired_hops: defaultdict[str, int] = defaultdict(int)
+        self.wireless_msgs: defaultdict[str, int] = defaultdict(int)
+
+    # Signature matches repro.network.links.AccountFn.
+    def account(self, category: str, hops: int, wireless: bool) -> None:
+        if wireless:
+            self.wireless_msgs[category] += hops
+        else:
+            self.wired_hops[category] += hops
+
+    # ------------------------------------------------------------------
+    def total_wired(self) -> int:
+        return sum(self.wired_hops.values())
+
+    def overhead_hops(
+        self, categories: Iterable[str] = OVERHEAD_CATEGORIES
+    ) -> int:
+        """Wired hops of mobility-caused traffic."""
+        return sum(self.wired_hops.get(c, 0) for c in categories)
+
+    def by_category(self) -> Mapping[str, int]:
+        return dict(self.wired_hops)
+
+    def reset(self) -> None:
+        self.wired_hops.clear()
+        self.wireless_msgs.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        cats = ", ".join(f"{k}={v}" for k, v in sorted(self.wired_hops.items()))
+        return f"<TrafficMeter {cats}>"

@@ -1,0 +1,31 @@
+"""Mobility management protocols.
+
+* :mod:`repro.mobility.mhh` — the paper's Multi-Hop Handoff protocol
+  (proclaimed move §4.1, silent move §4.2, frequent moving with the
+  distributed PQlist §4.3).
+* :mod:`repro.mobility.sub_unsub` — the widely used re-subscribe /
+  unsubscribe baseline ([9-11], paper §2).
+* :mod:`repro.mobility.home_broker` — the Mobile-IP-style home-broker
+  baseline ([9], paper §2); unreliable by design.
+* :mod:`repro.mobility.two_phase` — the authors' earlier two-phase handoff
+  ([12]); implemented as an extension for the concurrency ablation.
+"""
+
+from repro.mobility.base import MobilityProtocol
+from repro.mobility.queues import PersistentQueue
+from repro.mobility.mhh import MHHProtocol
+from repro.mobility.sub_unsub import SubUnsubProtocol
+from repro.mobility.home_broker import HomeBrokerProtocol
+from repro.mobility.two_phase import TwoPhaseProtocol
+from repro.mobility.registry import factory, PROTOCOLS
+
+__all__ = [
+    "MobilityProtocol",
+    "PersistentQueue",
+    "MHHProtocol",
+    "SubUnsubProtocol",
+    "HomeBrokerProtocol",
+    "TwoPhaseProtocol",
+    "factory",
+    "PROTOCOLS",
+]

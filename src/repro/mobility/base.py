@@ -1,0 +1,102 @@
+"""The mobility protocol interface.
+
+A protocol instance is created once per system and receives every
+mobility-relevant callback from the pub/sub core:
+
+* client life-cycle: first attach, reconnect, silent disconnect, proclaimed
+  disconnect;
+* event-for-client decisions (deliver live / store / forward / drop);
+* protocol-specific control messages addressed to brokers.
+
+Per-broker per-client protocol state lives in ``broker.pstate[client_id]``
+so that the protocol remains *distributed in spirit*: a broker's handler may
+only read and write its own broker's state and communicate with other
+brokers through messages. (Tests enforce observable behaviour, not this
+styling rule, but all three implementations follow it.)
+"""
+
+from __future__ import annotations
+
+from typing import Optional, TYPE_CHECKING
+
+from repro.pubsub.events import Notification
+from repro.pubsub.filter_table import ClientEntry
+from repro.pubsub import messages as m
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.pubsub.broker import Broker
+    from repro.pubsub.system import PubSubSystem
+
+__all__ = ["MobilityProtocol"]
+
+
+class MobilityProtocol:
+    """Base class for mobility management protocols."""
+
+    #: registry name; subclasses override
+    name: str = "abstract"
+    #: whether covering-based propagation pruning should be on by default
+    default_covering: bool = False
+
+    def __init__(self, system: "PubSubSystem") -> None:
+        self.system = system
+
+    # ------------------------------------------------------------------
+    # life-cycle hooks
+    # ------------------------------------------------------------------
+    def on_connect(
+        self, broker: "Broker", client: int, last_broker: Optional[int]
+    ) -> None:
+        """Client (re)connected at ``broker``; dispatch to first attach /
+        same-broker reconnect / handoff."""
+        raise NotImplementedError
+
+    def on_disconnect(self, broker: "Broker", client: int) -> None:
+        """Client silently disconnected from ``broker`` (detected instantly)."""
+        raise NotImplementedError
+
+    def on_proclaimed_disconnect(
+        self, broker: "Broker", client: int, dest: int
+    ) -> None:
+        """Client disconnected after proclaiming it will reconnect at ``dest``.
+
+        Protocols without proclaimed-move support treat it as silent.
+        """
+        self.on_disconnect(broker, client)
+
+    # ------------------------------------------------------------------
+    # event handling
+    # ------------------------------------------------------------------
+    def on_event_for_client(
+        self,
+        broker: "Broker",
+        entry: ClientEntry,
+        event: Notification,
+        from_broker: Optional[int],
+    ) -> None:
+        """An event matched a local client entry (labels already honoured).
+
+        Default policy: deliver if live, else append to the entry's sink
+        queue. Protocols override for richer behaviour (HB forwarding).
+        """
+        if entry.live:
+            broker.deliver_to_client(entry.client, event)
+        else:
+            broker.queues[entry.sink].append(event)
+
+    # ------------------------------------------------------------------
+    # control messages
+    # ------------------------------------------------------------------
+    def on_control(self, broker: "Broker", msg: m.Message, frm: int) -> None:
+        """Dispatch a protocol-specific control message."""
+        raise NotImplementedError(
+            f"{self.name}: unhandled control message {type(msg).__name__}"
+        )
+
+    # ------------------------------------------------------------------
+    # end-of-run support
+    # ------------------------------------------------------------------
+    def quiescent(self) -> bool:
+        """True when no handoff machinery is in flight (used by the runner's
+        drain phase together with an empty event heap)."""
+        return True

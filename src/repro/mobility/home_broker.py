@@ -1,0 +1,296 @@
+"""The home-broker baseline protocol ([9], paper §2) — Mobile-IP style.
+
+Every client is assigned a **home broker** (its initial attachment point).
+The client's subscription lives at the home broker permanently; events for
+the client always route through it. When the client is connected at a
+*foreign* broker, the home broker forwards each event over the grid
+shortest path (triangle routing — the overhead that grows with network
+size in Figure 6(a)). Stored backlog is forwarded in bulk at registration.
+
+The protocol is deliberately **unreliable**, exactly as the paper analyses:
+
+* events forwarded to a foreign broker the client has meanwhile left are
+  dropped there and counted as lost;
+* events that arrive at the home broker between the client's disconnection
+  and the deregistration message's arrival are forwarded into the void and
+  lost the same way;
+* events sitting untransmitted in the foreign broker's wireless downlink
+  when the client detaches are lost (there is no queue-reclaim protocol —
+  nothing would come back for them).
+
+Registration epochs guard against register/deregister reordering when the
+client moves between foreign brokers faster than the control messages
+travel.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, TYPE_CHECKING
+
+from repro.errors import ProtocolError
+from repro.pubsub.events import Notification
+from repro.pubsub.filter_table import ClientEntry
+from repro.pubsub import messages as m
+from repro.mobility.base import MobilityProtocol
+from repro.util.ids import QueueRef
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.pubsub.broker import Broker
+
+__all__ = ["HomeBrokerProtocol"]
+
+_AT_HOME = -1  # sentinel for "client connected at the home broker"
+
+
+class _HomeState:
+    """Home-broker-side record for one client."""
+
+    __slots__ = ("location", "queue", "last_epoch", "draining")
+
+    def __init__(self) -> None:
+        # None = disconnected; _AT_HOME = here; otherwise foreign broker id
+        self.location: Optional[int] = None
+        self.queue: Optional[QueueRef] = None
+        self.last_epoch = -1
+        #: a paced stored-backlog drain toward a foreign broker is running;
+        #: meanwhile fresh events append to the queue (order preservation)
+        self.draining = False
+
+
+class _ForeignState:
+    """Foreign-broker-side record: the client is attached here."""
+
+    __slots__ = ("epoch",)
+
+    def __init__(self, epoch: int) -> None:
+        self.epoch = epoch
+
+
+class HomeBrokerProtocol(MobilityProtocol):
+    """Mobile-IP-style home-broker handoff baseline."""
+
+    name = "home-broker"
+    default_covering = True
+
+    def __init__(self, system) -> None:
+        super().__init__(system)
+        self._epochs: dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    def _present(self, broker: "Broker", client: int) -> bool:
+        c = self.system.clients[client]
+        return c.connected and c.current_broker == broker.id
+
+    def _next_epoch(self, client: int) -> int:
+        e = self._epochs.get(client, -1) + 1
+        self._epochs[client] = e
+        return e
+
+    def _home_state(self, broker: "Broker", client: int) -> _HomeState:
+        st = broker.pstate.get(client)
+        if not isinstance(st, _HomeState):
+            raise ProtocolError(
+                f"broker {broker.id}: no home state for client {client}"
+            )
+        return st
+
+    # ------------------------------------------------------------------
+    # life-cycle
+    # ------------------------------------------------------------------
+    def on_connect(
+        self, broker: "Broker", client: int, last_broker: Optional[int]
+    ) -> None:
+        home = self.system.clients[client].home_broker
+        if last_broker is None:
+            if broker.id != home:
+                raise ProtocolError(
+                    "home-broker protocol requires the first attachment at "
+                    f"the home broker (client {client}: home {home}, "
+                    f"got {broker.id})"
+                )
+            st = _HomeState()
+            broker.pstate[client] = st
+            filt = self.system.clients[client].filter
+            broker.local_subscribe(
+                client, ("hb", client), filt, m.CAT_SUB_INITIAL, live=False
+            )
+            if self._present(broker, client):
+                st.location = _AT_HOME
+            else:
+                st.location = None
+                st.queue = broker.new_queue(client).ref
+            return
+        if broker.id == home:
+            # reconnect at home: no registration round needed
+            st = self._home_state(broker, client)
+            st.last_epoch = self._next_epoch(client)
+            if not self._present(broker, client):
+                return
+            st.location = _AT_HOME
+            self._flush_home_queue(broker, client, st)
+            return
+        # reconnect at a foreign broker: register with home
+        epoch = self._next_epoch(client)
+        broker.pstate[client] = _ForeignState(epoch)
+        self.system.tracer.emit(
+            "hb_register", client=client, foreign=broker.id, home=home
+        )
+        self.system.links.unicast(
+            broker.id, home, m.Register(client, broker.id, epoch)
+        )
+
+    def _flush_home_queue(
+        self, broker: "Broker", client: int, st: _HomeState
+    ) -> None:
+        if st.queue is None:
+            return
+        st.draining = False  # local flush supersedes any remote drain
+        q = broker.get_queue(st.queue)
+        for event in q.drain():
+            broker.deliver_to_client(client, event)
+        broker.drop_queue(st.queue)
+        st.queue = None
+
+    def on_disconnect(self, broker: "Broker", client: int) -> None:
+        home = self.system.clients[client].home_broker
+        if broker.id == home:
+            st = self._home_state(broker, client)
+            if st.location != _AT_HOME:
+                return  # connect message still in flight
+            st.location = None
+            if st.queue is None:
+                st.queue = broker.new_queue(client).ref
+            # reclaim untransmitted downlink events into the stored queue
+            pending = self.system.links.cancel_downlink_pending(client)
+            events = [
+                p.event for p in pending if isinstance(p, m.DeliverMessage)
+            ]
+            if events:
+                broker.get_queue(st.queue).extend_front(events)
+            return
+        st = broker.pstate.get(client)
+        if not isinstance(st, _ForeignState):
+            return  # connect message still in flight
+        del broker.pstate[client]
+        # untransmitted downlink events are lost: the home broker has already
+        # forwarded them and the foreign broker has nowhere to send them
+        pending = self.system.links.cancel_downlink_pending(client)
+        for p in pending:
+            if isinstance(p, m.DeliverMessage):
+                self.system.metrics.on_loss(client, p.event)
+        self.system.links.unicast(
+            broker.id, home, m.Deregister(client, st.epoch)
+        )
+
+    # ------------------------------------------------------------------
+    # event handling
+    # ------------------------------------------------------------------
+    def on_event_for_client(
+        self,
+        broker: "Broker",
+        entry: ClientEntry,
+        event: Notification,
+        from_broker: Optional[int],
+    ) -> None:
+        # the only filter-table entry for a client lives at its home broker
+        st = self._home_state(broker, entry.client)
+        if st.location == _AT_HOME:
+            broker.deliver_to_client(entry.client, event)
+        elif st.location is None or st.draining:
+            # disconnected, or the stored backlog is still being drained to
+            # the foreign broker: append behind it to preserve order
+            if st.queue is None:  # pragma: no cover - invariant
+                raise ProtocolError("disconnected client without a queue")
+            broker.get_queue(st.queue).append(event)
+        else:
+            self.system.links.unicast(
+                broker.id, st.location, m.ForwardedEvent(entry.client, event)
+            )
+
+    # ------------------------------------------------------------------
+    # control messages
+    # ------------------------------------------------------------------
+    def on_control(self, broker: "Broker", msg: m.Message, frm: int) -> None:
+        t = type(msg)
+        if t is m.Register:
+            self._on_register(broker, msg)
+        elif t is m.Deregister:
+            self._on_deregister(broker, msg)
+        elif t is m.ForwardedEvent:
+            self._on_forwarded(broker, msg.client, [msg.event])
+        elif t is m.ForwardedBatch:
+            self._on_forwarded(broker, msg.client, msg.events)
+        else:
+            raise ProtocolError(
+                f"home-broker: unexpected control message {t.__name__}"
+            )
+
+    def _on_register(self, broker: "Broker", msg: m.Register) -> None:
+        st = self._home_state(broker, msg.client)
+        if msg.epoch <= st.last_epoch:
+            return  # stale registration overtaken by a newer one
+        st.last_epoch = msg.epoch
+        st.location = msg.foreign
+        if st.queue is not None and len(broker.get_queue(st.queue)):
+            if not st.draining:
+                st.draining = True
+                self._drain_step(broker, msg.client)
+        elif st.queue is not None:
+            broker.drop_queue(st.queue)
+            st.queue = None
+
+    def _drain_step(self, broker: "Broker", client: int) -> None:
+        """Ship one stored batch per link slot toward the current foreign
+        location; stop when empty or the client's situation changed."""
+        st = self._home_state(broker, client)
+        if not st.draining:
+            return
+        if st.location is None or st.location == _AT_HOME or st.queue is None:
+            st.draining = False  # superseded by disconnect / home reconnect
+            return
+        q = broker.get_queue(st.queue)
+        batch = [q.popleft() for _ in range(
+            min(len(q), self.system.migration_batch_size)
+        )]
+        if batch:
+            self.system.links.unicast(
+                broker.id, st.location, m.ForwardedBatch(client, batch)
+            )
+        if len(q):
+            self.system.sim.schedule(
+                max(self.system.stream_pacing_ms, 1e-9),
+                self._drain_step, broker, client,
+            )
+        else:
+            st.draining = False
+            broker.drop_queue(st.queue)
+            st.queue = None
+
+    def _on_deregister(self, broker: "Broker", msg: m.Deregister) -> None:
+        st = self._home_state(broker, msg.client)
+        if msg.epoch != st.last_epoch:
+            return  # a newer registration already superseded this one
+        st.location = None
+        if st.queue is None:
+            st.queue = broker.new_queue(msg.client).ref
+
+    def _on_forwarded(
+        self, broker: "Broker", client: int, events: list[Notification]
+    ) -> None:
+        st = broker.pstate.get(client)
+        if isinstance(st, _ForeignState) and self._present(broker, client):
+            for event in events:
+                broker.deliver_to_client(client, event)
+        else:
+            # the client left this foreign broker while the events were in
+            # transit: irrecoverably lost (the paper's reliability gap)
+            for event in events:
+                self.system.tracer.emit(
+                    "hb_loss", client=client, broker=broker.id,
+                    event=event.event_id,
+                )
+                self.system.metrics.on_loss(client, event)
+
+    # ------------------------------------------------------------------
+    def quiescent(self) -> bool:
+        return True  # no multi-step machinery beyond in-flight messages

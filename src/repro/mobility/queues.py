@@ -1,0 +1,76 @@
+"""Event queues for disconnected and migrating clients.
+
+The paper (§4) defines two queue roles:
+
+* **Persistent Queue (PQ)** — "to store potentially large number of events
+  for a considerably long period" (a disconnected client's backlog);
+* **Temporary Queue (TQ)** — "to temporarily store events during the
+  handoff period" (the in-transit events captured on the migration path).
+
+Both are the same data structure here; the role is contextual. Queues are
+identified by location-qualified :class:`~repro.util.ids.QueueRef`s so the
+frequent-moving extension can maintain its per-client **PQlist**: the ordered
+collection of queues, distributed over the brokers the client has visited,
+whose concatenation is exactly the client's undelivered backlog in delivery
+order (§4.3). The list order itself is carried in MHH control messages as a
+vector of refs (an equivalent simplification of the paper's per-queue next
+pointers — DESIGN.md §2).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterator, Optional
+
+from repro.pubsub.events import Notification
+from repro.util.ids import QueueRef
+
+__all__ = ["PersistentQueue"]
+
+
+class PersistentQueue:
+    """FIFO event queue hosted by one broker for one client."""
+
+    __slots__ = ("ref", "client", "events", "frozen")
+
+    def __init__(self, ref: QueueRef, client: int) -> None:
+        self.ref = ref
+        self.client = client
+        self.events: deque[Notification] = deque()
+        #: a frozen queue accepts no further appends (protocol bug guard)
+        self.frozen = False
+
+    def append(self, event: Notification) -> None:
+        if self.frozen:
+            raise RuntimeError(f"append to frozen queue {self.ref}")
+        self.events.append(event)
+
+    def extend_front(self, events: list[Notification]) -> None:
+        """Put reclaimed wireless-pending events back at the head, in order."""
+        for ev in reversed(events):
+            self.events.appendleft(ev)
+
+    def popleft(self) -> Notification:
+        return self.events.popleft()
+
+    def drain(self) -> list[Notification]:
+        """Remove and return all events in order."""
+        out = list(self.events)
+        self.events.clear()
+        return out
+
+    def freeze(self) -> None:
+        self.frozen = True
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[Notification]:
+        return iter(self.events)
+
+    def __bool__(self) -> bool:
+        return bool(self.events)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = " frozen" if self.frozen else ""
+        return f"<PQ {self.ref} c{self.client} n={len(self.events)}{state}>"

@@ -1,0 +1,204 @@
+"""Link layer: FIFO message transport with latency and hop accounting.
+
+Models the paper's Section 5.1 network:
+
+* **wired links** between adjacent base stations: constant 10 ms delivery,
+  unbounded bandwidth (the paper measures traffic in hops, not bytes, and
+  reports no queueing effects on the wired side). FIFO per link follows from
+  constant latency plus the scheduler's same-time FIFO tie-break — messages
+  sent earlier on a link always arrive earlier. Several protocol correctness
+  arguments (TQ capture, ack-triggered label deletion) rest on this.
+* **wireless links** between a client and its broker: a serial FIFO channel,
+  one message per 20 ms. Serialisation matters: it is why the paper's MHH
+  needs the PQ3 buffer of immigrant events — a backlog takes real time to
+  push over the air, and the client can disconnect mid-drain leaving a
+  remainder. Pending (not-yet-transmitting) messages can be reclaimed on
+  disconnect; the in-service message always completes.
+* **multi-hop unicast** between arbitrary brokers travels the grid shortest
+  path. It is modelled as a single scheduling step of ``hops * 10 ms`` with
+  all hops accounted immediately; because every latency is distance * 10 ms
+  and the triangle inequality holds on the grid, this shortcut preserves all
+  arrival-order relations that true store-and-forward would produce (proof
+  sketch in DESIGN.md; property-tested in tests/test_links.py).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Optional
+
+from repro.errors import RoutingError
+from repro.network.paths import ShortestPaths
+from repro.network.topology import Topology
+from repro.sim.core import Simulator
+
+__all__ = ["LinkLayer", "WIRED_LATENCY_MS", "WIRELESS_LATENCY_MS"]
+
+WIRED_LATENCY_MS = 10.0
+WIRELESS_LATENCY_MS = 20.0
+
+# account(category, hops, wireless) -> None
+AccountFn = Callable[[str, int, bool], None]
+
+
+def _no_account(_category: str, _hops: int, _wireless: bool) -> None:
+    return None
+
+
+class _WirelessChannel:
+    """Serial FIFO channel in one direction between a client and a broker.
+
+    One message occupies the channel for ``latency`` ms; others queue behind
+    it. ``cancel_pending`` reclaims the queued (not in-service) messages in
+    order — used by MHH when a client disconnects mid-backlog-drain.
+    """
+
+    __slots__ = ("sim", "latency", "deliver", "queue", "busy_until", "_in_service")
+
+    def __init__(
+        self, sim: Simulator, latency: float, deliver: Callable[[Any], None]
+    ) -> None:
+        self.sim = sim
+        self.latency = latency
+        self.deliver = deliver
+        self.queue: deque[Any] = deque()
+        self.busy_until = 0.0
+        self._in_service: Any = None
+
+    def send(self, msg: Any) -> None:
+        if self._in_service is None and self.sim.now >= self.busy_until:
+            self._start(msg)
+        else:
+            self.queue.append(msg)
+
+    def _start(self, msg: Any) -> None:
+        self._in_service = msg
+        self.busy_until = self.sim.now + self.latency
+        self.sim.schedule(self.latency, self._finish, msg)
+
+    def _finish(self, msg: Any) -> None:
+        self._in_service = None
+        self.deliver(msg)
+        if self.queue:
+            self._start(self.queue.popleft())
+
+    def cancel_pending(self) -> list[Any]:
+        """Reclaim queued messages (in order). The in-service one completes."""
+        pending = list(self.queue)
+        self.queue.clear()
+        return pending
+
+    @property
+    def backlog(self) -> int:
+        return len(self.queue) + (1 if self._in_service is not None else 0)
+
+
+class LinkLayer:
+    """Message transport between brokers and between clients and brokers.
+
+    Endpoints register receive callbacks; senders address endpoints by id.
+    Every wired transmission is reported to the accounting callback with its
+    message category and hop count (the paper's traffic metric).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        topo: Topology,
+        paths: ShortestPaths,
+        wired_latency: float = WIRED_LATENCY_MS,
+        wireless_latency: float = WIRELESS_LATENCY_MS,
+        account: Optional[AccountFn] = None,
+        unicast_hops: Optional[Callable[[int, int], int]] = None,
+    ) -> None:
+        self.sim = sim
+        self.topo = topo
+        self.paths = paths
+        self.wired_latency = wired_latency
+        self.wireless_latency = wireless_latency
+        self.account: AccountFn = account or _no_account
+        # hop metric for multi-hop unicast; defaults to grid shortest paths
+        # (paper §5.1); the tree-routing ablation overrides it
+        self._unicast_hops = unicast_hops or paths.hop_count
+        # receiver(msg, from_broker) for brokers; receiver(msg) for clients
+        self._broker_rx: dict[int, Callable[[Any, int], None]] = {}
+        self._client_rx: dict[int, Callable[[Any], None]] = {}
+        self._downlinks: dict[int, _WirelessChannel] = {}
+        self._uplinks: dict[int, _WirelessChannel] = {}
+        # uplink messages are addressed to a broker chosen at send time;
+        # each queued uplink message is an (broker_id, payload) pair.
+
+    # ------------------------------------------------------------------
+    # registration
+    # ------------------------------------------------------------------
+    def register_broker(self, broker_id: int, rx: Callable[[Any, int], None]) -> None:
+        self._broker_rx[broker_id] = rx
+
+    def register_client(self, client_id: int, rx: Callable[[Any], None]) -> None:
+        self._client_rx[client_id] = rx
+        self._downlinks[client_id] = _WirelessChannel(
+            self.sim, self.wireless_latency, rx
+        )
+        self._uplinks[client_id] = _WirelessChannel(
+            self.sim, self.wireless_latency, self._deliver_uplink
+        )
+
+    # ------------------------------------------------------------------
+    # wired transport
+    # ------------------------------------------------------------------
+    def broker_to_broker(self, frm: int, to: int, msg: Any) -> None:
+        """One wired hop between adjacent brokers (tree or grid edge)."""
+        if not self.topo.has_edge(frm, to):
+            raise RoutingError(f"brokers {frm} and {to} are not adjacent")
+        self.account(msg.category, 1, False)
+        self.sim.schedule(self.wired_latency, self._deliver_broker, to, msg, frm)
+
+    def unicast(self, frm: int, to: int, msg: Any) -> None:
+        """Multi-hop unicast over the grid shortest path.
+
+        All hops are accounted at send time; arrival is after
+        ``hops * wired_latency``. ``frm == to`` delivers after zero delay
+        (still FIFO-ordered behind messages already scheduled for now).
+        """
+        hops = self._unicast_hops(frm, to) if frm != to else 0
+        if hops:
+            self.account(msg.category, hops, False)
+        self.sim.schedule(
+            hops * self.wired_latency, self._deliver_broker, to, msg, frm
+        )
+
+    def _deliver_broker(self, to: int, msg: Any, frm: int) -> None:
+        rx = self._broker_rx.get(to)
+        if rx is None:
+            raise RoutingError(f"no broker registered with id {to}")
+        rx(msg, frm)
+
+    # ------------------------------------------------------------------
+    # wireless transport
+    # ------------------------------------------------------------------
+    def broker_to_client(self, client_id: int, msg: Any) -> None:
+        """Queue a downlink message on the client's serial wireless channel."""
+        self.account(msg.category, 1, True)
+        self._downlinks[client_id].send(msg)
+
+    def client_to_broker(self, client_id: int, broker_id: int, msg: Any) -> None:
+        """Queue an uplink message; it reaches the broker after the channel
+        serialises it (20 ms per message)."""
+        self.account(msg.category, 1, True)
+        self._uplinks[client_id].send((broker_id, client_id, msg))
+
+    def _deliver_uplink(self, item: tuple[int, int, Any]) -> None:
+        broker_id, client_id, msg = item
+        rx = self._broker_rx.get(broker_id)
+        if rx is None:
+            raise RoutingError(f"no broker registered with id {broker_id}")
+        # from-id on uplink deliveries is the *client* id; broker dispatch
+        # distinguishes client messages by type, not by the from field.
+        rx(msg, -1 - client_id)
+
+    def cancel_downlink_pending(self, client_id: int) -> list[Any]:
+        """Reclaim queued downlink messages for a client (see MHH PQ3)."""
+        return self._downlinks[client_id].cancel_pending()
+
+    def downlink_backlog(self, client_id: int) -> int:
+        return self._downlinks[client_id].backlog

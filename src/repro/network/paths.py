@@ -1,0 +1,122 @@
+"""Shortest paths in the underlying (physical) network.
+
+Handoff requests, queue-migration streams and home-broker forwarding travel
+"via the shortest path in the network" (paper Section 5.1), i.e. over grid
+shortest paths rather than the overlay tree. This module provides all-pairs
+next-hop/distance tables computed lazily per source with BFS (unit weights)
+or Dijkstra (general weights).
+
+Tie-breaking: among equally short next hops the numerically smallest
+neighbour is chosen, so routes are deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+
+from repro.errors import RoutingError
+from repro.network.topology import Topology
+
+__all__ = ["ShortestPaths"]
+
+
+class ShortestPaths:
+    """Lazy all-pairs shortest-path oracle over a :class:`Topology`."""
+
+    def __init__(self, topo: Topology) -> None:
+        self.topo = topo
+        self._uniform = len({w for _u, _v, w in topo.edges()} | {1.0}) == 1
+        self._dist: dict[int, list[float]] = {}
+        self._first_hop: dict[int, list[int]] = {}
+
+    # ------------------------------------------------------------------
+    def _solve_from(self, src: int) -> None:
+        if src in self._dist:
+            return
+        n = self.topo.n
+        dist: list[float] = [float("inf")] * n
+        first: list[int] = [-1] * n
+        dist[src] = 0.0
+        first[src] = src
+        if self._uniform:
+            q: deque[int] = deque([src])
+            while q:
+                u = q.popleft()
+                for v in self.topo.neighbors(u):
+                    if dist[v] == float("inf"):
+                        dist[v] = dist[u] + 1
+                        first[v] = v if u == src else first[u]
+                        q.append(v)
+        else:
+            heap: list[tuple[float, int, int]] = [(0.0, src, src)]
+            while heap:
+                d, u, f = heapq.heappop(heap)
+                if d > dist[u]:
+                    continue
+                if u != src and first[u] == -1:
+                    first[u] = f
+                for v in self.topo.neighbors(u):
+                    nd = d + self.topo.weight(u, v)
+                    if nd < dist[v]:
+                        dist[v] = nd
+                        heapq.heappush(
+                            heap, (nd, v, v if u == src else first[u])
+                        )
+        self._dist[src] = dist
+        self._first_hop[src] = first
+
+    # ------------------------------------------------------------------
+    def distance(self, u: int, v: int) -> float:
+        """Shortest-path cost between ``u`` and ``v``."""
+        self._solve_from(u)
+        d = self._dist[u][v]
+        if d == float("inf"):
+            raise RoutingError(f"no path {u} -> {v}")
+        return d
+
+    def hop_count(self, u: int, v: int) -> int:
+        """Shortest-path length in edges (equals distance on unit weights)."""
+        if self._uniform:
+            return int(self.distance(u, v))
+        return len(self.path(u, v)) - 1
+
+    def next_hop(self, u: int, dst: int) -> int:
+        """First hop from ``u`` toward ``dst`` (``u`` itself if ``u == dst``)."""
+        if u == dst:
+            return u
+        self._solve_from(u)
+        hop = self._first_hop[u][dst]
+        if hop == -1:
+            raise RoutingError(f"no path {u} -> {dst}")
+        return hop
+
+    def path(self, u: int, v: int) -> list[int]:
+        """One shortest path from ``u`` to ``v`` inclusive (deterministic)."""
+        path = [u]
+        cur = u
+        guard = 0
+        while cur != v:
+            cur = self.next_hop(cur, v)
+            path.append(cur)
+            guard += 1
+            if guard > self.topo.n:  # pragma: no cover - safety net
+                raise RoutingError(f"routing loop resolving path {u} -> {v}")
+        return path
+
+    def average_distance(self) -> float:
+        """Mean shortest-path distance over ordered pairs (u != v)."""
+        total = 0.0
+        for u in range(self.topo.n):
+            self._solve_from(u)
+            total += sum(self._dist[u])
+        return total / (self.topo.n * (self.topo.n - 1))
+
+    def eccentricity(self, u: int) -> float:
+        """Greatest distance from ``u`` to any node."""
+        self._solve_from(u)
+        return max(self._dist[u])
+
+    def diameter(self) -> float:
+        """Greatest shortest-path distance over all pairs."""
+        return max(self.eccentricity(u) for u in range(self.topo.n))

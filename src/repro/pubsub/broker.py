@@ -1,0 +1,246 @@
+"""Event broker: reverse-path-forwarding router + subscription propagation.
+
+A broker owns a :class:`~repro.pubsub.filter_table.FilterTable`, a registry
+of persistent/temporary queues (managed by the mobility protocol), and a
+per-client protocol scratchpad (``pstate``). All mobility behaviour is
+delegated to the system's :class:`~repro.mobility.base.MobilityProtocol`;
+the broker implements only what every content-based pub/sub broker does:
+
+* **event routing** — match an incoming event against the filter table,
+  forward to interested neighbours (never back where it came from), hand
+  matches for local clients to the protocol;
+* **subscription propagation** — flood subscribe/unsubscribe through the
+  tree, optionally pruned by the covering relation (SIENA-style), keeping
+  the per-neighbour advertisement mirror consistent;
+* **direct table surgery** for MHH's subscription migration (which edits
+  routing state hop-by-hop *without* triggering propagation).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable, Optional, TYPE_CHECKING
+
+from repro.errors import ProtocolError
+from repro.pubsub.events import Notification
+from repro.pubsub.filter_table import ClientEntry, FilterTable
+from repro.pubsub.filters import Filter
+from repro.pubsub import messages as m
+from repro.util.ids import QueueRef
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.mobility.queues import PersistentQueue
+    from repro.pubsub.system import PubSubSystem
+
+__all__ = ["Broker"]
+
+
+class Broker:
+    """One event broker (base station) in the overlay."""
+
+    def __init__(self, system: "PubSubSystem", broker_id: int) -> None:
+        self.system = system
+        self.id = broker_id
+        self.sim = system.sim
+        self.links = system.links
+        self.tree = system.tree
+        self.table = FilterTable(broker_id, system.tree.neighbors(broker_id))
+        # queues hosted here, keyed by broker-local queue id
+        self.queues: dict[int, "PersistentQueue"] = {}
+        # per-client protocol scratchpad (owned by the mobility protocol)
+        self.pstate: dict[int, Any] = {}
+
+    # ------------------------------------------------------------------
+    # message dispatch
+    # ------------------------------------------------------------------
+    def receive(self, msg: m.Message, frm: int) -> None:
+        """Entry point for all messages addressed to this broker.
+
+        ``frm`` is the sending broker id for wired messages, or
+        ``-1 - client_id`` for client uplink messages.
+        """
+        t = type(msg)
+        if t is m.EventMessage:
+            self.route_event(msg.event, from_broker=frm)
+        elif t is m.PublishMessage:
+            self.system.tracer.emit(
+                "publish", broker=self.id, event=msg.event.event_id
+            )
+            self.route_event(msg.event, from_broker=None)
+        elif t is m.SubscribeMessage:
+            self._handle_subscribe(frm, msg)
+        elif t is m.UnsubscribeMessage:
+            self._handle_unsubscribe(frm, msg)
+        elif t is m.ConnectMessage:
+            self.system.protocol.on_connect(self, msg.client, msg.last_broker)
+        else:
+            self.system.protocol.on_control(self, msg, frm)
+
+    # ------------------------------------------------------------------
+    # event routing (hot path)
+    # ------------------------------------------------------------------
+    def route_event(
+        self, event: Notification, from_broker: Optional[int]
+    ) -> None:
+        """Reverse path forwarding step for one event at this broker."""
+        for nbr in self.table.match_neighbors(event, exclude=from_broker):
+            self.links.broker_to_broker(self.id, nbr, m.EventMessage(event))
+        protocol = self.system.protocol
+        for entry in self.table.match_clients(event, from_broker):
+            protocol.on_event_for_client(self, entry, event, from_broker)
+
+    def deliver_to_client(self, client: int, event: Notification) -> None:
+        """Queue one event on the client's wireless downlink."""
+        self.links.broker_to_client(client, m.DeliverMessage(client, event))
+
+    # ------------------------------------------------------------------
+    # subscription propagation
+    # ------------------------------------------------------------------
+    def local_subscribe(
+        self,
+        client: int,
+        key: Hashable,
+        f: Filter,
+        category: str,
+        live: bool,
+        sink: Optional[int] = None,
+    ) -> ClientEntry:
+        """Install a local client subscription and propagate it."""
+        entry = ClientEntry(client, key, f, live=live, sink=sink)
+        self.table.set_client_entry(entry)
+        for nbr in self.table.neighbors:
+            self._advertise(nbr, key, f, category)
+        return entry
+
+    def local_unsubscribe(self, client: int, category: str) -> None:
+        """Remove a local client subscription and propagate the withdrawal."""
+        entry = self.table.require_client_entry(client)
+        self.local_unsubscribe_key(entry.key, category)
+
+    def local_unsubscribe_key(self, key: Hashable, category: str) -> None:
+        """Key-addressed variant (needed when a client roots several
+        subscription epochs at the same broker — sub-unsub baseline)."""
+        self.table.remove_entry_by_key(key)
+        for nbr in self.table.neighbors:
+            self._withdraw(nbr, key, category)
+
+    def _handle_subscribe(self, frm: int, msg: m.SubscribeMessage) -> None:
+        self.table.add_broker_filter(frm, msg.key, msg.filter)
+        for nbr in self.table.neighbors:
+            if nbr != frm:
+                self._advertise(nbr, msg.key, msg.filter, msg.category)
+
+    def _handle_unsubscribe(self, frm: int, msg: m.UnsubscribeMessage) -> None:
+        if not self.table.remove_broker_filter(frm, msg.key):
+            # The covering-pruned flood can legitimately deliver an unsub for
+            # a key this broker never saw advertised; ignore it.
+            return
+        for nbr in self.table.neighbors:
+            if nbr != frm:
+                self._withdraw(nbr, msg.key, msg.category)
+
+    def _advertise(self, nbr: int, key: Hashable, f: Filter, category: str) -> None:
+        """Send ``sub(key, f)`` to ``nbr`` unless covering prunes it."""
+        if self.system.covering_enabled and self.table.advertised_covers(nbr, f):
+            return
+        if self.table.advertised_has(nbr, key):
+            return
+        self.table.advertised_add(nbr, key, f)
+        self.links.broker_to_broker(
+            self.id, nbr, m.SubscribeMessage(key, f, category)
+        )
+
+    def _withdraw(self, nbr: int, key: Hashable, category: str) -> None:
+        """Withdraw ``key`` from ``nbr`` and re-advertise uncovered filters.
+
+        Re-advertisements are sent *before* the unsubscribe so the
+        neighbour's table never has a window with neither filter installed.
+        """
+        if not self.table.advertised_has(nbr, key):
+            return
+        resubs: list[tuple[Hashable, Filter]] = []
+        if self.system.covering_enabled:
+            self.table.advertised_remove(nbr, key)
+            # candidate filters that may have been suppressed by `key`
+            for cand_key, cand_f in self._table_filters_excluding(nbr):
+                if cand_key == key:
+                    continue
+                if self.table.advertised_has(nbr, cand_key):
+                    continue
+                if not self.table.advertised_covers(nbr, cand_f):
+                    self.table.advertised_add(nbr, cand_key, cand_f)
+                    resubs.append((cand_key, cand_f))
+        else:
+            self.table.advertised_remove(nbr, key)
+        for cand_key, cand_f in resubs:
+            self.links.broker_to_broker(
+                self.id, nbr, m.SubscribeMessage(cand_key, cand_f, category)
+            )
+        self.links.broker_to_broker(
+            self.id, nbr, m.UnsubscribeMessage(key, category)
+        )
+
+    def _table_filters_excluding(self, nbr: int):
+        """All (key, filter) pairs visible from peers other than ``nbr``."""
+        for entry in self.table.clients.values():
+            yield (entry.key, entry.filter)
+        for other in self.table.neighbors:
+            if other == nbr:
+                continue
+            for key in self.table.broker_filter_keys(other):
+                f = self.table.broker_filter_get(other, key)
+                if f is not None:
+                    yield (key, f)
+
+    # ------------------------------------------------------------------
+    # direct table surgery (MHH subscription migration)
+    # ------------------------------------------------------------------
+    def migration_install_toward(self, nbr: int, key: Hashable, f: Filter) -> None:
+        """Step 1 of §4.1: mark neighbour ``nbr`` as interested in ``key``."""
+        self.table.add_broker_filter(nbr, key, f)
+
+    def migration_remove_from(self, nbr: int, key: Hashable) -> None:
+        """Step 2 of §4.1: the client is no longer behind ``nbr``."""
+        if not self.table.remove_broker_filter(nbr, key):
+            raise ProtocolError(
+                f"broker {self.id}: migration expected filter {key!r} from "
+                f"neighbour {nbr} (covering must be disabled for MHH runs)"
+            )
+
+    def migration_mirror_sent(self, nbr: int, key: Hashable) -> None:
+        """The neighbour will delete our advertisement when it processes the
+        sub_migration; drop the mirror entry now (send time)."""
+        self.table.advertised_remove(nbr, key)
+
+    def migration_mirror_received(self, nbr: int, key: Hashable, f: Filter) -> None:
+        """We installed ``(nbr <- key)`` on their behalf; record that we are
+        now (logically) advertising ``key`` to ``nbr``'s predecessor side."""
+        self.table.advertised_add(nbr, key, f)
+
+    # ------------------------------------------------------------------
+    # queue helpers
+    # ------------------------------------------------------------------
+    def new_queue(self, client: int) -> "PersistentQueue":
+        from repro.mobility.queues import PersistentQueue
+
+        qid = self.system.ids.next(f"queue/{self.id}")
+        q = PersistentQueue(QueueRef(self.id, qid), client)
+        self.queues[qid] = q
+        return q
+
+    def get_queue(self, ref: QueueRef) -> "PersistentQueue":
+        if ref.broker != self.id:
+            raise ProtocolError(
+                f"broker {self.id} asked for remote queue {ref}"
+            )
+        q = self.queues.get(ref.qid)
+        if q is None:
+            raise ProtocolError(f"broker {self.id}: unknown queue {ref}")
+        return q
+
+    def drop_queue(self, ref: QueueRef) -> None:
+        if self.queues.pop(ref.qid, None) is None:
+            raise ProtocolError(f"broker {self.id}: dropping unknown queue {ref}")
+
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Broker {self.id} clients={len(self.table.clients)}>"

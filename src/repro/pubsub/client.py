@@ -1,0 +1,139 @@
+"""Client: a mobile (or static) publisher/subscriber endpoint.
+
+A client is attached to at most one broker at a time over a wireless link.
+It remembers the identifier of its last-visited broker across disconnection
+periods (required by the silent-move handoff, paper §4.2) and exposes the
+three life-cycle operations the mobility model drives:
+
+* :meth:`connect` — attach at a broker (silent-move reconnect when the
+  broker differs from the last one);
+* :meth:`disconnect` — detach silently;
+* :meth:`proclaim_and_disconnect` — detach after announcing the destination
+  broker (proclaimed move, §4.1).
+
+Publishing is only possible while connected. Received events are reported to
+the system's delivery log, which also powers the handoff-delay metric
+("the period from a client's reconnection time to the time it receives the
+first event", §5.1).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, TYPE_CHECKING
+
+from repro.errors import ClientStateError
+from repro.pubsub.events import Notification
+from repro.pubsub.filters import Filter
+from repro.pubsub import messages as m
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.pubsub.system import PubSubSystem
+
+__all__ = ["Client"]
+
+
+class Client:
+    """One pub/sub client."""
+
+    def __init__(
+        self,
+        system: "PubSubSystem",
+        client_id: int,
+        filter: Filter,
+        home_broker: int,
+        mobile: bool = False,
+    ) -> None:
+        self.system = system
+        self.id = client_id
+        self.filter = filter
+        self.home_broker = home_broker
+        self.mobile = mobile
+        self.current_broker: Optional[int] = None
+        self.last_broker: Optional[int] = None
+        self.connected = False
+        self.ever_connected = False
+        self._pub_seq = 0
+        system.links.register_client(client_id, self._on_downlink)
+
+    # ------------------------------------------------------------------
+    # life-cycle
+    # ------------------------------------------------------------------
+    def connect(self, broker_id: int) -> None:
+        """Attach at ``broker_id``; the broker learns of it after the
+        wireless uplink latency."""
+        if self.connected:
+            raise ClientStateError(f"client {self.id} already connected")
+        previous = self.last_broker
+        self.connected = True
+        self.current_broker = broker_id
+        self.ever_connected = True
+        self.system.metrics.on_client_connect(
+            self.id, self.system.sim.now, previous, broker_id
+        )
+        self.system.links.client_to_broker(
+            self.id, broker_id, m.ConnectMessage(self.id, self.filter, previous)
+        )
+
+    def disconnect(self) -> None:
+        """Silent move: detach without notice; the broker detects it
+        immediately (link-layer detection, modelled as synchronous)."""
+        broker = self._require_connected("disconnect")
+        self.connected = False
+        self.current_broker = None
+        self.last_broker = broker
+        self.system.metrics.on_client_disconnect(self.id, self.system.sim.now)
+        self.system.protocol.on_disconnect(self.system.brokers[broker], self.id)
+
+    def proclaim_and_disconnect(self, dest_broker: int) -> None:
+        """Proclaimed move (§4.1): announce the destination, then detach.
+
+        The subscription starts migrating immediately; the client's notion
+        of "last visited broker" becomes the destination, because that is
+        where its subscription (and stored events) will be rooted.
+        """
+        broker = self._require_connected("proclaim_and_disconnect")
+        self.connected = False
+        self.current_broker = None
+        self.last_broker = dest_broker if dest_broker != broker else broker
+        self.system.metrics.on_client_disconnect(self.id, self.system.sim.now)
+        self.system.protocol.on_proclaimed_disconnect(
+            self.system.brokers[broker], self.id, dest_broker
+        )
+
+    def _require_connected(self, op: str) -> int:
+        if not self.connected or self.current_broker is None:
+            raise ClientStateError(f"client {self.id}: {op} while disconnected")
+        return self.current_broker
+
+    # ------------------------------------------------------------------
+    # publish / receive
+    # ------------------------------------------------------------------
+    def publish(self, topic: float, attrs: Optional[dict] = None) -> Notification:
+        """Publish one event at the current broker (uplink, 20 ms)."""
+        broker = self._require_connected("publish")
+        event = Notification(
+            event_id=self.system.ids.next("event"),
+            publisher=self.id,
+            seq=self._pub_seq,
+            publish_time=self.system.sim.now,
+            topic=topic,
+            attrs=attrs,
+        )
+        self._pub_seq += 1
+        self.system.metrics.on_publish(event)
+        self.system.links.client_to_broker(
+            self.id, broker, m.PublishMessage(event)
+        )
+        return event
+
+    def _on_downlink(self, msg: m.Message) -> None:
+        if type(msg) is m.DeliverMessage:
+            self.system.metrics.on_delivery(
+                self.id, msg.event, self.system.sim.now
+            )
+        else:  # pragma: no cover - no other downlink message types exist
+            raise ClientStateError(f"unexpected downlink message {msg!r}")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        where = f"@B{self.current_broker}" if self.connected else "offline"
+        return f"<Client {self.id} {where}>"

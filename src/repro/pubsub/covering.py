@@ -1,0 +1,68 @@
+"""The covering relation and covering-based filter-set reduction.
+
+``covers(f, g)`` holds when every event matching ``g`` also matches ``f``
+(``f``'s event set is a superset). Content-based routers use it to prune
+subscription propagation: a broker need not forward a subscription to a
+neighbour that already received a covering one (SIENA [16]); the paper's
+Figure 6(a) discussion relies on this effect for the sub-unsub baseline.
+
+Covering here is *conservative*: a True answer is always sound; a False
+answer may be a "don't know" for complex conjunctions. Soundness is all
+routing correctness requires.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Mapping, Sequence
+
+from repro.pubsub.filters import Filter
+
+__all__ = ["covers", "is_covered_by_set", "reduce_by_covering"]
+
+
+def covers(f: Filter, g: Filter) -> bool:
+    """True if ``f`` (conservatively) covers ``g``."""
+    return f.covers(g)
+
+
+def is_covered_by_set(candidate: Filter, existing: Sequence[Filter]) -> bool:
+    """True if some filter in ``existing`` covers ``candidate``."""
+    return any(f.covers(candidate) for f in existing)
+
+
+def reduce_by_covering(
+    filters: Mapping[Hashable, Filter],
+) -> dict[Hashable, Filter]:
+    """Minimal sub-map whose filters cover every filter of the input.
+
+    Keys give a deterministic tie-break for equal filters (the smallest key
+    survives), so reduction is stable across runs.
+
+    Examples
+    --------
+    >>> from repro.pubsub.filters import RangeFilter
+    >>> kept = reduce_by_covering({1: RangeFilter(0.0, 0.5),
+    ...                            2: RangeFilter(0.1, 0.2)})
+    >>> sorted(kept)
+    [1]
+    """
+    items = sorted(filters.items(), key=lambda kv: repr(kv[0]))
+    kept: dict[Hashable, Filter] = {}
+    for key, f in items:
+        covered = False
+        for other_key, other in items:
+            if other_key == key:
+                continue
+            if not other.covers(f):
+                continue
+            if f.covers(other):
+                # mutual covering (equal extents): smaller repr-key survives
+                if repr(other_key) < repr(key):
+                    covered = True
+                    break
+            else:
+                covered = True
+                break
+        if not covered:
+            kept[key] = f
+    return kept

@@ -1,0 +1,87 @@
+"""Event (notification) model.
+
+A *notification* is one published event. The paper's delivery guarantee is
+per-publisher ("publisher order"): for two events from the same publisher
+matching a client's filter, the one published first must arrive first
+(footnote 1). Each notification therefore carries its publisher id and a
+per-publisher sequence number; these also drive the duplicate filtering and
+sorting inside the sub-unsub baseline's merge step.
+
+For matching speed the primary routing attribute (``topic``) is a slot
+field; arbitrary additional attributes live in an optional dict consulted
+only by general (non-range) filters.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Optional
+
+__all__ = ["Notification"]
+
+
+class Notification:
+    """One published event.
+
+    Parameters
+    ----------
+    event_id:
+        Globally unique id (allocated by the system).
+    publisher:
+        Client id of the publisher.
+    seq:
+        Per-publisher sequence number (0, 1, 2, ... in publish order).
+    publish_time:
+        Simulation time at which the publisher handed the event to its
+        broker (used by the merge sort of the sub-unsub baseline).
+    topic:
+        Primary routing attribute, a float in ``[0, 1)`` in the paper
+        workload (any float is accepted).
+    attrs:
+        Optional additional attributes for general content-based filters.
+    """
+
+    __slots__ = ("event_id", "publisher", "seq", "publish_time", "topic", "attrs")
+
+    def __init__(
+        self,
+        event_id: int,
+        publisher: int,
+        seq: int,
+        publish_time: float,
+        topic: float,
+        attrs: Optional[Mapping[str, Any]] = None,
+    ) -> None:
+        self.event_id = event_id
+        self.publisher = publisher
+        self.seq = seq
+        self.publish_time = publish_time
+        self.topic = topic
+        self.attrs = dict(attrs) if attrs else None
+
+    def get(self, attr: str, default: Any = None) -> Any:
+        """Attribute lookup used by general filters (``topic`` included)."""
+        if attr == "topic":
+            return self.topic
+        if attr == "publisher":
+            return self.publisher
+        if self.attrs is None:
+            return default
+        return self.attrs.get(attr, default)
+
+    # Sort key giving a total order consistent with per-publisher order.
+    def order_key(self) -> tuple[float, int, int]:
+        return (self.publish_time, self.publisher, self.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Notification(id={self.event_id}, pub={self.publisher}, "
+            f"seq={self.seq}, topic={self.topic:.4f})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Notification) and other.event_id == self.event_id
+        )
+
+    def __hash__(self) -> int:
+        return hash(self.event_id)

@@ -1,0 +1,277 @@
+"""Per-broker filter table.
+
+Section 3: "Each event broker maintains a filter table to record the
+subscriptions of its neighbors. The neighbors of a broker include both the
+neighboring brokers and the clients that directly connect to the broker."
+
+The table therefore has two parts:
+
+* **broker filters** — per neighbouring broker, the set of subscriptions that
+  neighbour advertised to us (keyed by subscription key). An event is
+  forwarded to a neighbour iff any of its advertised filters matches
+  (reverse path forwarding). Range filters live in a per-neighbour
+  :class:`~repro.pubsub.interval_index.IntervalIndex` so the per-event
+  forwarding decision is O(log n); general filters fall back to a scan.
+* **client entries** — local (possibly offline) clients. MHH extends these
+  with a *label*: a labelled entry accepts events for the client only when
+  they arrive from the labelled neighbour (§4.1 step 2) — the mechanism that
+  captures in-transit events into temporary queues during a handoff.
+
+The table also tracks what this broker has **advertised** to each neighbour
+(the mirror of the neighbour's broker-filter set for us). Advertisement
+bookkeeping drives covering-based propagation pruning and must be kept
+consistent by MHH's direct table edits; the system-wide mirror invariant is
+asserted in tests.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Optional
+
+from repro.errors import ProtocolError
+from repro.pubsub.events import Notification
+from repro.pubsub.filters import Filter
+from repro.pubsub.interval_index import IntervalIndex
+from repro.util.ids import QueueId
+
+__all__ = ["ClientEntry", "FilterTable"]
+
+
+class ClientEntry:
+    """Interest of one local (possibly offline) client.
+
+    Attributes
+    ----------
+    client: client id.
+    key: the routing key under which the filter propagates.
+    filter: the client's subscription filter.
+    label: None, or a neighbouring broker id — accept events for this client
+        only from that neighbour (MHH §4.1).
+    live: True while events should go straight to the client's wireless
+        downlink; False while they should be appended to ``sink``.
+    sink: queue id (broker-local) absorbing events while not live.
+    """
+
+    __slots__ = ("client", "key", "filter", "label", "live", "sink")
+
+    def __init__(
+        self,
+        client: int,
+        key: Hashable,
+        filter: Filter,
+        label: Optional[int] = None,
+        live: bool = False,
+        sink: Optional[QueueId] = None,
+    ) -> None:
+        self.client = client
+        self.key = key
+        self.filter = filter
+        self.label = label
+        self.live = live
+        self.sink = sink
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "live" if self.live else f"sink={self.sink}"
+        lab = f" label={self.label}" if self.label is not None else ""
+        return f"<ClientEntry c{self.client} {state}{lab}>"
+
+
+class _PeerFilters:
+    """Filters advertised by one neighbour: range index + general list."""
+
+    __slots__ = ("ranges", "general")
+
+    def __init__(self) -> None:
+        self.ranges = IntervalIndex()
+        self.general: dict[Hashable, Filter] = {}
+
+    def add(self, key: Hashable, f: Filter) -> None:
+        rng = f.as_range()
+        if rng is not None and rng[0] == "topic":
+            self.ranges.add(key, rng[1], rng[2])
+        else:
+            self.general[key] = f
+
+    def remove(self, key: Hashable) -> bool:
+        if key in self.ranges:
+            self.ranges.remove(key)
+            return True
+        return self.general.pop(key, None) is not None
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self.ranges or key in self.general
+
+    def __len__(self) -> int:
+        return len(self.ranges) + len(self.general)
+
+    def matches(self, event: Notification) -> bool:
+        if self.ranges.stab(event.topic):
+            return True
+        return any(f.matches(event) for f in self.general.values())
+
+    def covers(self, f: Filter) -> bool:
+        """Is ``f`` covered by some filter in this set? (conservative)"""
+        rng = f.as_range()
+        if rng is not None and rng[0] == "topic":
+            if self.ranges.contains_interval(rng[1], rng[2]):
+                return True
+        return any(g.covers(f) for g in self.general.values())
+
+    def keys(self) -> list[Hashable]:
+        return [k for k, _ in self.ranges.items()] + list(self.general)
+
+    def get(self, key: Hashable) -> Optional[Filter]:
+        iv = self.ranges.get(key)
+        if iv is not None:
+            from repro.pubsub.filters import RangeFilter
+
+            return RangeFilter(iv[0], iv[1])
+        return self.general.get(key)
+
+
+class FilterTable:
+    """The routing state of one broker."""
+
+    def __init__(self, broker_id: int, neighbors: Iterable[int]) -> None:
+        self.broker_id = broker_id
+        self.neighbors = sorted(neighbors)
+        # subs received FROM each neighbour ("that side is interested")
+        self._from_nbr: dict[int, _PeerFilters] = {
+            n: _PeerFilters() for n in self.neighbors
+        }
+        # subs we advertised TO each neighbour (mirror of their _from_nbr[us])
+        self._advertised: dict[int, _PeerFilters] = {
+            n: _PeerFilters() for n in self.neighbors
+        }
+        # client entries keyed by subscription key; a client normally has at
+        # most one entry per broker, but the sub-unsub baseline can briefly
+        # root two subscription epochs of one client at the same broker
+        self.clients: dict[Hashable, ClientEntry] = {}
+
+    # ------------------------------------------------------------------
+    # broker-filter side
+    # ------------------------------------------------------------------
+    def add_broker_filter(self, nbr: int, key: Hashable, f: Filter) -> None:
+        self._from_nbr[nbr].add(key, f)
+
+    def remove_broker_filter(self, nbr: int, key: Hashable) -> bool:
+        """Remove; returns False if the key was absent."""
+        return self._from_nbr[nbr].remove(key)
+
+    def has_broker_filter(self, nbr: int, key: Hashable) -> bool:
+        return key in self._from_nbr[nbr]
+
+    def broker_filter_keys(self, nbr: int) -> list[Hashable]:
+        return self._from_nbr[nbr].keys()
+
+    def broker_filter_get(self, nbr: int, key: Hashable) -> Optional[Filter]:
+        return self._from_nbr[nbr].get(key)
+
+    def broker_filter_count(self, nbr: int) -> int:
+        return len(self._from_nbr[nbr])
+
+    # ------------------------------------------------------------------
+    # advertisement mirror
+    # ------------------------------------------------------------------
+    def advertised_add(self, nbr: int, key: Hashable, f: Filter) -> None:
+        self._advertised[nbr].add(key, f)
+
+    def advertised_remove(self, nbr: int, key: Hashable) -> bool:
+        return self._advertised[nbr].remove(key)
+
+    def advertised_has(self, nbr: int, key: Hashable) -> bool:
+        return key in self._advertised[nbr]
+
+    def advertised_covers(self, nbr: int, f: Filter) -> bool:
+        return self._advertised[nbr].covers(f)
+
+    def advertised_keys(self, nbr: int) -> list[Hashable]:
+        return self._advertised[nbr].keys()
+
+    def advertised_get(self, nbr: int, key: Hashable) -> Optional[Filter]:
+        return self._advertised[nbr].get(key)
+
+    # ------------------------------------------------------------------
+    # client entries
+    # ------------------------------------------------------------------
+    def set_client_entry(self, entry: ClientEntry) -> None:
+        self.clients[entry.key] = entry
+
+    def entries_for_client(self, client: int) -> list[ClientEntry]:
+        return [e for e in self.clients.values() if e.client == client]
+
+    def get_client_entry(self, client: int) -> Optional[ClientEntry]:
+        """The unique entry for ``client`` (None if absent).
+
+        Raises if the client has several entries here — callers relying on
+        uniqueness (MHH) would be operating on ambiguous state.
+        """
+        entries = self.entries_for_client(client)
+        if len(entries) > 1:
+            raise ProtocolError(
+                f"broker {self.broker_id}: client {client} has "
+                f"{len(entries)} entries; use key-based access"
+            )
+        return entries[0] if entries else None
+
+    def require_client_entry(self, client: int) -> ClientEntry:
+        entry = self.get_client_entry(client)
+        if entry is None:
+            raise ProtocolError(
+                f"broker {self.broker_id}: no client entry for client {client}"
+            )
+        return entry
+
+    def get_entry_by_key(self, key: Hashable) -> Optional[ClientEntry]:
+        return self.clients.get(key)
+
+    def remove_client_entry(self, client: int) -> None:
+        entry = self.require_client_entry(client)
+        del self.clients[entry.key]
+
+    def remove_entry_by_key(self, key: Hashable) -> None:
+        if self.clients.pop(key, None) is None:
+            raise ProtocolError(
+                f"broker {self.broker_id}: removing absent entry {key!r}"
+            )
+
+    # ------------------------------------------------------------------
+    # matching (the hot path)
+    # ------------------------------------------------------------------
+    def match_neighbors(
+        self, event: Notification, exclude: Optional[int]
+    ) -> list[int]:
+        """Neighbours (excluding ``exclude``) with at least one matching filter."""
+        out = []
+        for n in self.neighbors:
+            if n == exclude:
+                continue
+            if self._from_nbr[n].matches(event):
+                out.append(n)
+        return out
+
+    def match_clients(
+        self, event: Notification, from_broker: Optional[int]
+    ) -> list[ClientEntry]:
+        """Client entries matching ``event``, honouring MHH labels.
+
+        A labelled entry accepts the event only when it arrived from the
+        labelled neighbouring broker; locally published events
+        (``from_broker is None``) never match labelled entries.
+        """
+        out = []
+        for entry in self.clients.values():
+            if entry.label is not None and entry.label != from_broker:
+                continue
+            if entry.filter.matches(event):
+                out.append(entry)
+        return out
+
+    # ------------------------------------------------------------------
+    # introspection for tests
+    # ------------------------------------------------------------------
+    def snapshot_broker_filters(self) -> dict[int, set]:
+        return {n: set(pf.keys()) for n, pf in self._from_nbr.items()}
+
+    def snapshot_advertised(self) -> dict[int, set]:
+        return {n: set(pf.keys()) for n, pf in self._advertised.items()}

@@ -1,0 +1,125 @@
+"""Fast stabbing/containment queries over a dynamic set of closed intervals.
+
+The broker hot path asks, for every event at every hop, "does any filter
+advertised by neighbour *n* match this event?" — with range filters this is
+an interval *stabbing* query. The subscription-propagation path asks "is this
+new interval contained in an existing one?" — a *containment* query.
+
+Both are answered in O(log n) from the same static structure: intervals
+sorted by ``lo`` with prefix maxima over ``hi`` (top-2 maxima, so containment
+can exclude one key). Mutations mark the structure dirty; it is rebuilt
+lazily on the next query (tables mutate only on subscription changes, which
+are orders of magnitude rarer than event matches).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Hashable, Iterator, Optional
+
+__all__ = ["IntervalIndex"]
+
+_NEG_INF = float("-inf")
+
+
+class IntervalIndex:
+    """Dynamic set of keyed closed intervals with fast queries.
+
+    Examples
+    --------
+    >>> idx = IntervalIndex()
+    >>> idx.add("a", 0.1, 0.4)
+    >>> idx.add("b", 0.3, 0.9)
+    >>> idx.stab(0.35)
+    True
+    >>> idx.stab(0.95)
+    False
+    >>> idx.contains_interval(0.2, 0.4)  # covered by "a"? no: lo 0.1<=0.2, hi 0.4>=0.4 -> yes
+    True
+    """
+
+    __slots__ = ("_items", "_dirty", "_los", "_max1_hi", "_max1_key", "_max2_hi")
+
+    def __init__(self) -> None:
+        self._items: dict[Hashable, tuple[float, float]] = {}
+        self._dirty = True
+        self._los: list[float] = []
+        self._max1_hi: list[float] = []
+        self._max1_key: list[Hashable] = []
+        self._max2_hi: list[float] = []
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def add(self, key: Hashable, lo: float, hi: float) -> None:
+        """Insert or replace interval ``key``."""
+        self._items[key] = (lo, hi)
+        self._dirty = True
+
+    def remove(self, key: Hashable) -> None:
+        """Remove interval ``key`` (KeyError if absent)."""
+        del self._items[key]
+        self._dirty = True
+
+    def discard(self, key: Hashable) -> None:
+        """Remove interval ``key`` if present."""
+        if self._items.pop(key, None) is not None:
+            self._dirty = True
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._items
+
+    def get(self, key: Hashable) -> Optional[tuple[float, float]]:
+        return self._items.get(key)
+
+    def items(self) -> Iterator[tuple[Hashable, tuple[float, float]]]:
+        return iter(self._items.items())
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def _rebuild(self) -> None:
+        order = sorted(self._items.items(), key=lambda kv: (kv[1][0], kv[1][1]))
+        n = len(order)
+        self._los = [lo for _k, (lo, _hi) in order]
+        self._max1_hi = [0.0] * n
+        self._max1_key = [None] * n
+        self._max2_hi = [0.0] * n
+        best_hi, best_key, second_hi = _NEG_INF, None, _NEG_INF
+        for i, (k, (_lo, hi)) in enumerate(order):
+            if hi > best_hi:
+                second_hi = best_hi
+                best_hi, best_key = hi, k
+            elif hi > second_hi:
+                second_hi = hi
+            self._max1_hi[i] = best_hi
+            self._max1_key[i] = best_key
+            self._max2_hi[i] = second_hi
+        self._dirty = False
+
+    def stab(self, x: float) -> bool:
+        """True if any interval contains point ``x``."""
+        if self._dirty:
+            self._rebuild()
+        idx = bisect_right(self._los, x) - 1
+        return idx >= 0 and self._max1_hi[idx] >= x
+
+    def contains_interval(
+        self, lo: float, hi: float, exclude: Hashable = None
+    ) -> bool:
+        """True if some interval (other than ``exclude``) contains [lo, hi]."""
+        if self._dirty:
+            self._rebuild()
+        idx = bisect_right(self._los, lo) - 1
+        if idx < 0:
+            return False
+        if self._max1_key[idx] != exclude:
+            return self._max1_hi[idx] >= hi
+        return self._max2_hi[idx] >= hi
+
+    def stabbing_keys(self, x: float) -> list[Hashable]:
+        """All keys whose interval contains ``x`` (linear scan; cold path)."""
+        return [k for k, (lo, hi) in self._items.items() if lo <= x <= hi]

@@ -1,0 +1,396 @@
+"""Wire message types and traffic accounting categories.
+
+Every message carries a ``category`` consumed by the traffic meter; the
+paper's "message overhead per handoff" metric sums the wired hops of the
+categories in :data:`OVERHEAD_CATEGORIES` (see DESIGN.md §5 for the
+accounting rationale).
+
+Message classes are deliberately small ``__slots__`` records; protocol
+handlers dispatch on type.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.pubsub.events import Notification
+from repro.pubsub.filters import Filter
+from repro.util.ids import QueueRef
+
+__all__ = [
+    "CAT_EVENT",
+    "CAT_SUB_INITIAL",
+    "CAT_SUB_HANDOFF",
+    "CAT_MOBILITY_CTRL",
+    "CAT_MIGRATION",
+    "CAT_HB_FORWARD",
+    "OVERHEAD_CATEGORIES",
+    "Message",
+    "EventMessage",
+    "SubscribeMessage",
+    "UnsubscribeMessage",
+    "PublishMessage",
+    "ConnectMessage",
+    "DeliverMessage",
+    "HandoffRequest",
+    "SubMigration",
+    "SubMigrationAck",
+    "DeliverTQ",
+    "MigrateBatch",
+    "FetchQueue",
+    "QueueStreamed",
+    "StreamDone",
+    "StopEventMigration",
+    "TransferRequest",
+    "TransferBatch",
+    "TransferDone",
+    "Register",
+    "Deregister",
+    "ForwardedEvent",
+    "ForwardedBatch",
+]
+
+# ---------------------------------------------------------------------------
+# traffic categories
+# ---------------------------------------------------------------------------
+CAT_EVENT = "event"                  # normal dissemination + final delivery
+CAT_SUB_INITIAL = "sub_initial"      # subscription propagation at system setup
+CAT_SUB_HANDOFF = "sub_handoff"      # sub/unsub floods triggered by handoffs
+CAT_MOBILITY_CTRL = "mobility_ctrl"  # handoff control messages
+CAT_MIGRATION = "event_migration"    # queue transfers between brokers
+CAT_HB_FORWARD = "hb_forward"        # home->foreign live event forwarding
+
+#: Categories whose wired hops count toward "message overhead per handoff".
+OVERHEAD_CATEGORIES = frozenset(
+    {CAT_SUB_HANDOFF, CAT_MOBILITY_CTRL, CAT_MIGRATION, CAT_HB_FORWARD}
+)
+
+
+class Message:
+    """Base wire message. Subclasses set ``category``."""
+
+    __slots__ = ()
+    category: str = CAT_MOBILITY_CTRL
+
+
+# ---------------------------------------------------------------------------
+# pub/sub core messages
+# ---------------------------------------------------------------------------
+class EventMessage(Message):
+    """One event travelling one overlay-tree hop (reverse path forwarding)."""
+
+    __slots__ = ("event",)
+    category = CAT_EVENT
+
+    def __init__(self, event: Notification) -> None:
+        self.event = event
+
+
+class SubscribeMessage(Message):
+    """Subscription propagation: neighbour advertises interest ``key: filter``."""
+
+    __slots__ = ("key", "filter", "category")
+
+    def __init__(self, key, filter: Filter, category: str = CAT_SUB_INITIAL) -> None:
+        self.key = key
+        self.filter = filter
+        self.category = category
+
+
+class UnsubscribeMessage(Message):
+    """Withdraw a previously advertised subscription key."""
+
+    __slots__ = ("key", "category")
+
+    def __init__(self, key, category: str = CAT_SUB_HANDOFF) -> None:
+        self.key = key
+        self.category = category
+
+
+class PublishMessage(Message):
+    """Client uplink: publish one event at the current broker."""
+
+    __slots__ = ("event",)
+    category = CAT_EVENT
+
+    def __init__(self, event: Notification) -> None:
+        self.event = event
+
+
+class ConnectMessage(Message):
+    """Client uplink: (re)connect at a broker.
+
+    ``last_broker`` is None on the very first attach; on silent-move
+    reconnects it names the broker the client last visited (the client is
+    required to remember it — paper §4.2).
+    """
+
+    __slots__ = ("client", "filter", "last_broker")
+    category = CAT_MOBILITY_CTRL
+
+    def __init__(self, client: int, filter: Optional[Filter], last_broker) -> None:
+        self.client = client
+        self.filter = filter
+        self.last_broker = last_broker
+
+
+class DeliverMessage(Message):
+    """Broker downlink: hand one event to the client."""
+
+    __slots__ = ("client", "event")
+    category = CAT_EVENT
+
+    def __init__(self, client: int, event: Notification) -> None:
+        self.client = client
+        self.event = event
+
+
+# ---------------------------------------------------------------------------
+# MHH protocol messages (paper §4)
+# ---------------------------------------------------------------------------
+class HandoffRequest(Message):
+    """New broker -> old broker: begin the handoff (silent move, §4.2)."""
+
+    __slots__ = ("client", "new_broker")
+    category = CAT_MOBILITY_CTRL
+
+    def __init__(self, client: int, new_broker: int) -> None:
+        self.client = client
+        self.new_broker = new_broker
+
+
+class SubMigration(Message):
+    """Hop-by-hop subscription migration (§4.1).
+
+    Carries the client id, its filter (under its routing ``key``), the
+    destination broker, and the client's PQlist metadata (ordered queue
+    references — the distributed linked list of §4.3; the vector-of-refs
+    representation is an equivalent simplification, see DESIGN.md).
+    """
+
+    __slots__ = ("client", "key", "filter", "dest", "pqlist")
+    category = CAT_MOBILITY_CTRL
+
+    def __init__(
+        self,
+        client: int,
+        key,
+        filter: Filter,
+        dest: int,
+        pqlist: tuple[QueueRef, ...],
+    ) -> None:
+        self.client = client
+        self.key = key
+        self.filter = filter
+        self.dest = dest
+        self.pqlist = pqlist
+
+
+class SubMigrationAck(Message):
+    """Backward ack; pushes in-transit events ahead of it on the FIFO link."""
+
+    __slots__ = ("client",)
+    category = CAT_MOBILITY_CTRL
+
+    def __init__(self, client: int) -> None:
+        self.client = client
+
+
+class DeliverTQ(Message):
+    """Token walking the migration path asking each broker to drain its TQ.
+
+    ``target`` is where TQ events should be streamed (the new broker during
+    a normal migration; the old anchor after a stop — §4.3). ``append_to``
+    optionally names the queue at the target that should absorb them. After
+    a stop, ``remaining`` carries the refs of the queues that were never
+    streamed so the destination can relink the PQlist.
+    """
+
+    __slots__ = ("client", "dest", "target", "append_to", "remaining")
+    category = CAT_MOBILITY_CTRL
+
+    def __init__(
+        self,
+        client: int,
+        dest: int,
+        target: int,
+        append_to: Optional[QueueRef] = None,
+        remaining: tuple[QueueRef, ...] = (),
+    ) -> None:
+        self.client = client
+        self.dest = dest
+        self.target = target
+        self.append_to = append_to
+        self.remaining = remaining
+
+
+class MigrateBatch(Message):
+    """A batch of events of a migrating queue, unicast to the target.
+
+    Queue migration ships events in batches (``migration_batch_size`` per
+    message) — the paper transfers stored queues in bulk, and per-event
+    messaging would misstate the "hops travelled" overhead metric by the
+    batch factor.
+    """
+
+    __slots__ = ("client", "events", "append_to")
+    category = CAT_MIGRATION
+
+    def __init__(
+        self,
+        client: int,
+        events: list[Notification],
+        append_to: Optional[QueueRef],
+    ) -> None:
+        self.client = client
+        self.events = events
+        self.append_to = append_to
+
+
+class FetchQueue(Message):
+    """Migration coordinator -> queue holder: stream queue ``ref`` to ``dest``."""
+
+    __slots__ = ("client", "ref", "dest", "append_to")
+    category = CAT_MOBILITY_CTRL
+
+    def __init__(
+        self, client: int, ref: QueueRef, dest: int, append_to: Optional[QueueRef]
+    ) -> None:
+        self.client = client
+        self.ref = ref
+        self.dest = dest
+        self.append_to = append_to
+
+
+class QueueStreamed(Message):
+    """Queue holder -> coordinator: queue ``ref`` fully streamed (and deleted)."""
+
+    __slots__ = ("client", "ref")
+    category = CAT_MOBILITY_CTRL
+
+    def __init__(self, client: int, ref: QueueRef) -> None:
+        self.client = client
+        self.ref = ref
+
+
+class StreamDone(Message):
+    """Coordinator -> destination: the whole PQlist has been streamed."""
+
+    __slots__ = ("client",)
+    category = CAT_MOBILITY_CTRL
+
+    def __init__(self, client: int) -> None:
+        self.client = client
+
+
+class StopEventMigration(Message):
+    """New broker -> old anchor: client left mid-migration; stop streaming
+    and drain TQs back to the old anchor (§4.3)."""
+
+    __slots__ = ("client",)
+    category = CAT_MOBILITY_CTRL
+
+    def __init__(self, client: int) -> None:
+        self.client = client
+
+
+# ---------------------------------------------------------------------------
+# sub-unsub baseline messages
+# ---------------------------------------------------------------------------
+class TransferRequest(Message):
+    """New broker -> old broker after the safety interval: unsubscribe there
+    and transfer the stored queue."""
+
+    __slots__ = ("client", "epoch", "new_broker")
+    category = CAT_MOBILITY_CTRL
+
+    def __init__(self, client: int, epoch: int, new_broker: int) -> None:
+        self.client = client
+        self.epoch = epoch
+        self.new_broker = new_broker
+
+
+class TransferBatch(Message):
+    """A batch of stored events moving from the old to the new broker.
+
+    ``epoch`` names the receiving subscription epoch, so rapid back-and-forth
+    movement (several epochs of one client rooted at one broker) cannot
+    misroute a transfer stream.
+    """
+
+    __slots__ = ("client", "epoch", "events")
+    category = CAT_MIGRATION
+
+    def __init__(
+        self, client: int, epoch: int, events: list[Notification]
+    ) -> None:
+        self.client = client
+        self.epoch = epoch
+        self.events = events
+
+
+class TransferDone(Message):
+    """Old broker -> new broker: stored-queue transfer complete.
+
+    Piggybacks the old root's ``delivered_ids`` (events already handed to
+    the client from there), so merges further down a rapid-movement chain
+    never re-deliver an event whose copy travelled both routes.
+    """
+
+    __slots__ = ("client", "epoch", "delivered_ids")
+    category = CAT_MOBILITY_CTRL
+
+    def __init__(
+        self, client: int, epoch: int, delivered_ids: frozenset[int] = frozenset()
+    ) -> None:
+        self.client = client
+        self.epoch = epoch
+        self.delivered_ids = delivered_ids
+
+
+# ---------------------------------------------------------------------------
+# home-broker baseline messages
+# ---------------------------------------------------------------------------
+class Register(Message):
+    """Foreign broker -> home broker: client now connected here."""
+
+    __slots__ = ("client", "foreign", "epoch")
+    category = CAT_MOBILITY_CTRL
+
+    def __init__(self, client: int, foreign: int, epoch: int) -> None:
+        self.client = client
+        self.foreign = foreign
+        self.epoch = epoch
+
+
+class Deregister(Message):
+    """Foreign broker -> home broker: client disconnected from here."""
+
+    __slots__ = ("client", "epoch")
+    category = CAT_MOBILITY_CTRL
+
+    def __init__(self, client: int, epoch: int) -> None:
+        self.client = client
+        self.epoch = epoch
+
+
+class ForwardedEvent(Message):
+    """Home broker -> foreign broker: one triangle-routed live event."""
+
+    __slots__ = ("client", "event")
+    category = CAT_HB_FORWARD
+
+    def __init__(self, client: int, event: Notification) -> None:
+        self.client = client
+        self.event = event
+
+
+class ForwardedBatch(Message):
+    """Home broker -> foreign broker: stored-backlog batch at registration."""
+
+    __slots__ = ("client", "events")
+    category = CAT_MIGRATION
+
+    def __init__(self, client: int, events: list[Notification]) -> None:
+        self.client = client
+        self.events = events

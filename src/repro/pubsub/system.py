@@ -1,0 +1,196 @@
+"""PubSubSystem: wires the simulator, network, brokers, clients and protocol.
+
+This is the top-level object a user (or the experiment runner) builds:
+
+>>> from repro.pubsub.system import PubSubSystem
+>>> from repro.pubsub.filters import RangeFilter
+>>> sys_ = PubSubSystem(grid_k=3, protocol="mhh", seed=1)
+>>> c = sys_.add_client(RangeFilter(0.0, 1.0), broker=0, mobile=True)
+>>> c.connect(0); sys_.sim.run(until=100.0)
+
+Brokers sit on a k x k grid; the overlay is a seeded minimum spanning tree;
+the mobility protocol is chosen by name ("mhh", "sub-unsub", "home-broker",
+"two-phase") or supplied as a factory.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Union, TYPE_CHECKING
+
+from repro.errors import ConfigurationError
+from repro.metrics.hub import MetricsHub
+from repro.network.links import (
+    LinkLayer,
+    WIRED_LATENCY_MS,
+    WIRELESS_LATENCY_MS,
+)
+from repro.network.paths import ShortestPaths
+from repro.network.spanning_tree import minimum_spanning_tree
+from repro.network.topology import Topology, grid_topology
+from repro.pubsub.broker import Broker
+from repro.pubsub.client import Client
+from repro.pubsub.filters import Filter
+from repro.sim.core import Simulator
+from repro.sim.rng import RandomStreams
+from repro.sim.trace import Tracer
+from repro.util.ids import IdAllocator
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.mobility.base import MobilityProtocol
+
+__all__ = ["PubSubSystem"]
+
+ProtocolSpec = Union[str, Callable[["PubSubSystem"], "MobilityProtocol"]]
+
+
+def _protocol_factory(spec: ProtocolSpec) -> Callable[["PubSubSystem"], "MobilityProtocol"]:
+    if callable(spec):
+        return spec
+    from repro.mobility import registry
+
+    return registry.factory(spec)
+
+
+class PubSubSystem:
+    """A complete simulated pub/sub deployment."""
+
+    def __init__(
+        self,
+        grid_k: int,
+        protocol: ProtocolSpec = "mhh",
+        seed: int = 0,
+        wired_latency: float = WIRED_LATENCY_MS,
+        wireless_latency: float = WIRELESS_LATENCY_MS,
+        covering_enabled: Optional[bool] = None,
+        migration_batch_size: int = 10,
+        stream_pacing_ms: Optional[float] = None,
+        unicast_routing: str = "grid",
+        trace: Optional[Union[str, list[str]]] = None,
+        topology: Optional[Topology] = None,
+    ) -> None:
+        if grid_k <= 0 and topology is None:
+            raise ConfigurationError(f"grid_k must be >= 1, got {grid_k}")
+        if migration_batch_size <= 0:
+            raise ConfigurationError(
+                f"migration_batch_size must be >= 1, got {migration_batch_size}"
+            )
+        if unicast_routing not in ("grid", "tree"):
+            raise ConfigurationError(
+                f"unicast_routing must be 'grid' or 'tree', got {unicast_routing!r}"
+            )
+        self.seed = seed
+        #: events per queue-migration message (bulk queue transfers)
+        self.migration_batch_size = migration_batch_size
+        #: dispatch interval between consecutive batches of one queue
+        #: stream. Default: one batch per wired-link slot, so shipping a
+        #: backlog takes time proportional to its size (a 60-event queue is
+        #: not teleported); 0 disables pacing.
+        if stream_pacing_ms is None:
+            stream_pacing_ms = wired_latency
+        if stream_pacing_ms < 0:
+            raise ConfigurationError(
+                f"stream_pacing_ms must be >= 0, got {stream_pacing_ms}"
+            )
+        self.stream_pacing_ms = stream_pacing_ms
+        self.sim = Simulator()
+        self.streams = RandomStreams(seed)
+        self.ids = IdAllocator()
+        self.metrics = MetricsHub()
+        self.tracer = Tracer(lambda: self.sim.now, enabled=trace)
+
+        self.topology = topology if topology is not None else grid_topology(grid_k)
+        self.paths = ShortestPaths(self.topology)
+        self.tree = minimum_spanning_tree(self.topology, seed=seed)
+        #: 'grid' (paper §5.1: stations talk via shortest paths) or 'tree'
+        #: (route point-to-point traffic over the overlay too — ablation)
+        self.unicast_routing = unicast_routing
+        self.links = LinkLayer(
+            self.sim,
+            self.topology,
+            self.paths,
+            wired_latency=wired_latency,
+            wireless_latency=wireless_latency,
+            account=self.metrics.account,
+            unicast_hops=(
+                self.tree.distance if unicast_routing == "tree" else None
+            ),
+        )
+
+        self.brokers: dict[int, Broker] = {}
+        for bid in range(self.topology.n):
+            broker = Broker(self, bid)
+            self.brokers[bid] = broker
+            self.links.register_broker(bid, broker.receive)
+
+        self.clients: dict[int, Client] = {}
+
+        factory = _protocol_factory(protocol)
+        self.protocol: "MobilityProtocol" = factory(self)
+        # Covering-based propagation pruning: ON for protocols that flood
+        # subscriptions per handoff (sub-unsub), OFF for MHH whose migration
+        # surgery requires exact per-key table state (paper §4.1 notes the
+        # extra machinery covering would need; DESIGN.md records the choice).
+        if covering_enabled is None:
+            covering_enabled = self.protocol.default_covering
+        self.covering_enabled = covering_enabled
+
+    # ------------------------------------------------------------------
+    @property
+    def broker_count(self) -> int:
+        return self.topology.n
+
+    def add_client(
+        self,
+        filter: Filter,
+        broker: int,
+        mobile: bool = False,
+    ) -> Client:
+        """Create a client whose home broker is ``broker``.
+
+        The client is *not* connected yet; call :meth:`Client.connect`.
+        Its subscription is registered with the delivery checker if it is a
+        topic range (the workload's case).
+        """
+        if broker not in self.brokers:
+            raise ConfigurationError(f"unknown broker id {broker}")
+        cid = self.ids.next("client")
+        client = Client(self, cid, filter, home_broker=broker, mobile=mobile)
+        self.clients[cid] = client
+        rng = filter.as_range()
+        if rng is not None and rng[0] == "topic":
+            self.metrics.delivery.register_subscription(cid, rng[1], rng[2])
+        return client
+
+    # ------------------------------------------------------------------
+    def run(self, until: Optional[float] = None) -> None:
+        """Advance the simulation (see :meth:`repro.sim.core.Simulator.run`)."""
+        self.sim.run(until=until)
+
+    def run_until_quiescent(self, max_time: Optional[float] = None) -> None:
+        """Drain every pending event (bounded by ``max_time`` if given)."""
+        if max_time is None:
+            self.sim.run()
+        else:
+            self.sim.run(until=max_time)
+
+    # ------------------------------------------------------------------
+    # invariants (used by tests)
+    # ------------------------------------------------------------------
+    def check_mirror_invariant(self) -> None:
+        """Every broker's advertised set equals the neighbour's received set."""
+        for bid, broker in self.brokers.items():
+            for nbr in broker.table.neighbors:
+                mine = broker.table.snapshot_advertised()[nbr]
+                theirs = self.brokers[nbr].table.snapshot_broker_filters()[bid]
+                if mine != theirs:
+                    raise AssertionError(
+                        f"mirror invariant broken on edge {bid}->{nbr}: "
+                        f"advertised={sorted(map(str, mine))} "
+                        f"received={sorted(map(str, theirs))}"
+                    )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<PubSubSystem brokers={self.broker_count} "
+            f"clients={len(self.clients)} protocol={self.protocol.name}>"
+        )

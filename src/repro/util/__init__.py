@@ -1,0 +1,47 @@
+"""Small shared utilities: typed identifiers, validation, chunking."""
+
+from typing import Iterator, Sequence, TypeVar
+
+from repro.util.ids import (
+    BrokerId,
+    ClientId,
+    EventId,
+    QueueId,
+    QueueRef,
+    IdAllocator,
+)
+from repro.util.validation import (
+    check_positive,
+    check_non_negative,
+    check_probability,
+    check_in_range,
+)
+
+_T = TypeVar("_T")
+
+
+def chunked(seq: Sequence[_T], size: int) -> Iterator[list[_T]]:
+    """Split ``seq`` into consecutive lists of at most ``size`` elements.
+
+    >>> list(chunked([1, 2, 3, 4, 5], 2))
+    [[1, 2], [3, 4], [5]]
+    """
+    if size <= 0:
+        raise ValueError(f"chunk size must be positive, got {size}")
+    for i in range(0, len(seq), size):
+        yield list(seq[i : i + size])
+
+
+__all__ = [
+    "BrokerId",
+    "ClientId",
+    "EventId",
+    "QueueId",
+    "QueueRef",
+    "IdAllocator",
+    "check_positive",
+    "check_non_negative",
+    "check_probability",
+    "check_in_range",
+    "chunked",
+]

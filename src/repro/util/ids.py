@@ -1,0 +1,61 @@
+"""Typed identifiers used across the library.
+
+Brokers and clients are identified by small integers for speed (they index
+into dense tables inside the simulator); queues are identified by
+``(broker, serial)`` pairs because a queue lives on exactly one broker and
+the MHH PQlist needs location-qualified references that can be shipped
+inside control messages.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterator
+
+# Brokers and clients are plain ints at runtime. The aliases document intent
+# in signatures without imposing wrapper-object overhead on hot paths.
+BrokerId = int
+ClientId = int
+EventId = int
+QueueId = int
+
+
+@dataclass(frozen=True, slots=True)
+class QueueRef:
+    """Location-qualified reference to a persistent queue.
+
+    ``broker`` is the broker currently hosting the queue and ``qid`` the
+    broker-local queue serial. QueueRefs are shipped inside MHH control
+    messages to link the distributed PQlist together.
+    """
+
+    broker: BrokerId
+    qid: QueueId
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"PQ(b{self.broker}#{self.qid})"
+
+
+class IdAllocator:
+    """Monotonic id source with independent named streams.
+
+    A single allocator is owned by the :class:`~repro.pubsub.system.PubSubSystem`
+    so that ids are unique per run and deterministic given the construction
+    order (no global state, unlike ``itertools.count`` at module scope).
+    """
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Iterator[int]] = {}
+
+    def next(self, stream: str) -> int:
+        """Return the next id in ``stream``, starting from 0."""
+        counter = self._counters.get(stream)
+        if counter is None:
+            counter = itertools.count()
+            self._counters[stream] = counter
+        return next(counter)
+
+    def peek_streams(self) -> list[str]:
+        """Names of streams that have allocated at least one id."""
+        return sorted(self._counters)

@@ -1,0 +1,40 @@
+"""Argument validation helpers.
+
+These raise :class:`~repro.errors.ConfigurationError` with uniform wording so
+configuration mistakes surface early with actionable messages instead of as
+deep simulator misbehaviour.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+
+
+def check_positive(name: str, value: float) -> float:
+    """Require ``value > 0``; return it for fluent use."""
+    if not value > 0:
+        raise ConfigurationError(f"{name} must be > 0, got {value!r}")
+    return value
+
+
+def check_non_negative(name: str, value: float) -> float:
+    """Require ``value >= 0``; return it for fluent use."""
+    if value < 0:
+        raise ConfigurationError(f"{name} must be >= 0, got {value!r}")
+    return value
+
+
+def check_probability(name: str, value: float) -> float:
+    """Require ``0 <= value <= 1``; return it for fluent use."""
+    if not 0.0 <= value <= 1.0:
+        raise ConfigurationError(f"{name} must be in [0, 1], got {value!r}")
+    return value
+
+
+def check_in_range(name: str, value: float, lo: float, hi: float) -> float:
+    """Require ``lo <= value <= hi``; return it for fluent use."""
+    if not lo <= value <= hi:
+        raise ConfigurationError(
+            f"{name} must be in [{lo}, {hi}], got {value!r}"
+        )
+    return value

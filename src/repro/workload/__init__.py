@@ -1,0 +1,24 @@
+"""The paper's workload model (Section 5.1).
+
+* k x k base stations, 10 clients per broker;
+* 20 % of clients are mobile; connection and disconnection period lengths
+  are exponentially distributed;
+* on silent-move reconnection the target broker is chosen uniformly from
+  all base stations;
+* every client publishes (while connected) at a mean rate of one event per
+  five minutes;
+* subscriptions are topic ranges generated so that, on average, 6.25 % of
+  clients match each published event (variable widths, so the covering
+  relation has bite — the effect the paper's Figure 6(a) discussion needs).
+"""
+
+from repro.workload.spec import WorkloadSpec
+from repro.workload.generator import SubscriptionGenerator, build_population
+from repro.workload.mobility_model import Workload
+
+__all__ = [
+    "WorkloadSpec",
+    "SubscriptionGenerator",
+    "build_population",
+    "Workload",
+]

@@ -1,0 +1,107 @@
+"""Client behaviour processes: mobility and publishing.
+
+Mobility pattern (paper §5.1): "Each mobile client disconnects and
+reconnects from time to time, and the location of each time of connection
+is randomly chosen from all base stations. The lengths of connection
+periods and disconnection periods for mobile clients are random variables
+that satisfy the exponential distribution."
+
+Publishing: every client publishes at exponential intervals (mean five
+minutes) while connected; publishes that would fall into a disconnection
+period are skipped (a detached device cannot publish).
+
+Only silent moves are simulated (paper §5.1); the proclaimed-move API is
+exercised by unit tests and examples instead.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.sim.process import Process, spawn
+from repro.workload.spec import SECONDS, WorkloadSpec
+from repro.workload.generator import build_population
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.pubsub.client import Client
+    from repro.pubsub.system import PubSubSystem
+
+__all__ = ["Workload"]
+
+
+class Workload:
+    """Drives the paper's workload on a :class:`PubSubSystem`.
+
+    Construction creates the population and starts all processes; call
+    :meth:`stop` at the end of the measurement window (the runner then
+    performs the drain phase).
+    """
+
+    def __init__(self, system: "PubSubSystem", spec: WorkloadSpec) -> None:
+        self.system = system
+        self.spec = spec
+        self.static_clients, self.mobile_clients = build_population(system, spec)
+        self._processes: list[Process] = []
+        self._stopped = False
+        sim = system.sim
+        # initial attachment: everyone connects at its home broker at t=0
+        for client in self.static_clients + self.mobile_clients:
+            client.connect(client.home_broker)
+        for client in self.static_clients + self.mobile_clients:
+            self._processes.append(
+                spawn(
+                    sim,
+                    self._publisher(client),
+                    start_delay=spec.warmup_ms,
+                    name=f"pub/{client.id}",
+                )
+            )
+        for client in self.mobile_clients:
+            self._processes.append(
+                spawn(
+                    sim,
+                    self._mover(client),
+                    start_delay=spec.warmup_ms,
+                    name=f"move/{client.id}",
+                )
+            )
+
+    # ------------------------------------------------------------------
+    # processes
+    # ------------------------------------------------------------------
+    def _publisher(self, client: "Client"):
+        rng = self.system.streams.stream(f"workload/publish/{client.id}")
+        mean_ms = self.spec.publish_interval_s * SECONDS
+        while True:
+            yield float(rng.exponential(mean_ms))
+            if self._stopped:
+                return
+            if client.connected:
+                client.publish(topic=float(rng.uniform()))
+
+    def _mover(self, client: "Client"):
+        rng = self.system.streams.stream(f"workload/mobility/{client.id}")
+        conn_ms = self.spec.mean_connected_s * SECONDS
+        disc_ms = self.spec.mean_disconnected_s * SECONDS
+        n = self.system.broker_count
+        while True:
+            yield float(rng.exponential(conn_ms))
+            if self._stopped:
+                return
+            client.disconnect()
+            yield float(rng.exponential(disc_ms))
+            if self._stopped:
+                # leave the client disconnected; the drain phase reconnects it
+                return
+            client.connect(int(rng.integers(n)))
+
+    # ------------------------------------------------------------------
+    def stop(self) -> None:
+        """End the measurement window: freeze all behaviour processes."""
+        self._stopped = True
+        for proc in self._processes:
+            proc.interrupt()
+
+    @property
+    def all_clients(self) -> list["Client"]:
+        return self.static_clients + self.mobile_clients

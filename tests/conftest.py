@@ -1,0 +1,37 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.pubsub.filters import RangeFilter
+from repro.pubsub.system import PubSubSystem
+
+
+@pytest.fixture
+def sim():
+    from repro.sim.core import Simulator
+
+    return Simulator()
+
+
+def make_system(protocol: str = "mhh", k: int = 3, seed: int = 1, **kw):
+    """A small system for protocol tests."""
+    return PubSubSystem(grid_k=k, protocol=protocol, seed=seed, **kw)
+
+
+def attach_pair(system: PubSubSystem, sub_broker: int, pub_broker: int,
+                lo: float = 0.0, hi: float = 0.5):
+    """One mobile subscriber + one static publisher, both connected."""
+    sub = system.add_client(RangeFilter(lo, hi), broker=sub_broker, mobile=True)
+    pub = system.add_client(RangeFilter(0.0, 0.0), broker=pub_broker)
+    sub.connect(sub_broker)
+    pub.connect(pub_broker)
+    system.run(until=500.0)
+    return sub, pub
+
+
+def drain(system: PubSubSystem, limit_rounds: int = 1000) -> None:
+    """Run the sim until the heap is empty."""
+    system.sim.run()
+    assert system.sim.peek() is None

@@ -1,0 +1,105 @@
+"""Client life-cycle and error-handling tests."""
+
+import pytest
+
+from repro.errors import ClientStateError, ConfigurationError
+from repro.pubsub.filters import RangeFilter
+from repro.pubsub.system import PubSubSystem
+
+
+def build():
+    return PubSubSystem(grid_k=3, protocol="mhh", seed=1)
+
+
+def test_double_connect_rejected():
+    system = build()
+    c = system.add_client(RangeFilter(0.0, 1.0), broker=0)
+    c.connect(0)
+    with pytest.raises(ClientStateError):
+        c.connect(1)
+
+
+def test_disconnect_while_disconnected_rejected():
+    system = build()
+    c = system.add_client(RangeFilter(0.0, 1.0), broker=0)
+    with pytest.raises(ClientStateError):
+        c.disconnect()
+
+
+def test_publish_while_disconnected_rejected():
+    system = build()
+    c = system.add_client(RangeFilter(0.0, 1.0), broker=0)
+    with pytest.raises(ClientStateError):
+        c.publish(0.5)
+
+
+def test_add_client_unknown_broker_rejected():
+    system = build()
+    with pytest.raises(ConfigurationError):
+        system.add_client(RangeFilter(0.0, 1.0), broker=99)
+
+
+def test_last_broker_tracks_disconnect_location():
+    system = build()
+    c = system.add_client(RangeFilter(0.0, 1.0), broker=0, mobile=True)
+    c.connect(0)
+    system.run(until=1000.0)
+    assert c.last_broker is None  # still connected at first broker
+    c.disconnect()
+    assert c.last_broker == 0
+    system.run(until=2000.0)
+    c.connect(4)
+    system.run(until=4000.0)
+    c.disconnect()
+    assert c.last_broker == 4
+
+
+def test_proclaimed_move_sets_last_broker_to_destination():
+    system = build()
+    c = system.add_client(RangeFilter(0.0, 1.0), broker=0, mobile=True)
+    c.connect(0)
+    system.run(until=1000.0)
+    c.proclaim_and_disconnect(8)
+    assert c.last_broker == 8
+
+
+def test_publish_sequence_numbers_increase():
+    system = build()
+    c = system.add_client(RangeFilter(0.0, 0.0), broker=0)
+    c.connect(0)
+    system.run(until=1000.0)
+    events = [c.publish(0.5) for _ in range(5)]
+    assert [e.seq for e in events] == [0, 1, 2, 3, 4]
+    assert len({e.event_id for e in events}) == 5
+
+
+def test_event_ids_unique_across_clients():
+    system = build()
+    a = system.add_client(RangeFilter(0.0, 0.0), broker=0)
+    b = system.add_client(RangeFilter(0.0, 0.0), broker=1)
+    a.connect(0)
+    b.connect(1)
+    system.run(until=1000.0)
+    ids = {a.publish(0.5).event_id, b.publish(0.5).event_id,
+           a.publish(0.5).event_id}
+    assert len(ids) == 3
+
+
+def test_connect_disconnect_within_uplink_window_is_safe():
+    """A client that attaches and leaves within the 20 ms uplink latency."""
+    system = build()
+    pub = system.add_client(RangeFilter(0.9, 0.9), broker=8)
+    pub.connect(8)
+    system.run(until=1000.0)
+    c = system.add_client(RangeFilter(0.0, 1.0), broker=0, mobile=True)
+    c.connect(0)
+    system.run(until=system.sim.now + 5.0)  # connect message still in flight
+    c.disconnect()
+    system.run(until=3000.0)
+    pub.publish(0.5)
+    system.run(until=6000.0)
+    c.connect(0)
+    system.sim.run()
+    stats = system.metrics.delivery.stats
+    assert stats.missing == 0
+    assert stats.delivered == stats.expected

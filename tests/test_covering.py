@@ -1,0 +1,99 @@
+"""Unit + property tests for covering-based filter-set reduction."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.pubsub.covering import covers, is_covered_by_set, reduce_by_covering
+from repro.pubsub.events import Notification
+from repro.pubsub.filters import RangeFilter
+
+
+def ev(x):
+    return Notification(0, 0, 0, 0.0, x)
+
+
+def test_reduce_drops_contained_interval():
+    kept = reduce_by_covering({
+        "wide": RangeFilter(0.0, 0.6),
+        "narrow": RangeFilter(0.1, 0.2),
+    })
+    assert set(kept) == {"wide"}
+
+
+def test_reduce_keeps_overlapping_but_uncontained():
+    kept = reduce_by_covering({
+        "a": RangeFilter(0.0, 0.5),
+        "b": RangeFilter(0.3, 0.8),
+    })
+    assert set(kept) == {"a", "b"}
+
+
+def test_reduce_equal_filters_keeps_exactly_one():
+    kept = reduce_by_covering({
+        "k1": RangeFilter(0.2, 0.4),
+        "k2": RangeFilter(0.2, 0.4),
+        "k3": RangeFilter(0.2, 0.4),
+    })
+    assert len(kept) == 1
+
+
+def test_reduce_empty():
+    assert reduce_by_covering({}) == {}
+
+
+def test_reduce_chain_keeps_only_outermost():
+    kept = reduce_by_covering({
+        i: RangeFilter(0.5 - 0.1 * i, 0.5 + 0.1 * i) for i in range(1, 5)
+    })
+    assert set(kept) == {4}
+
+
+def test_is_covered_by_set():
+    existing = [RangeFilter(0.0, 0.4), RangeFilter(0.6, 1.0)]
+    assert is_covered_by_set(RangeFilter(0.1, 0.3), existing)
+    assert not is_covered_by_set(RangeFilter(0.3, 0.7), existing)
+
+
+def test_covers_function_delegates():
+    assert covers(RangeFilter(0.0, 1.0), RangeFilter(0.2, 0.3))
+
+
+intervals = st.lists(
+    st.tuples(st.floats(0, 1, allow_nan=False), st.floats(0, 1, allow_nan=False)),
+    min_size=0,
+    max_size=12,
+).map(lambda xs: {i: RangeFilter(min(a, b), max(a, b)) for i, (a, b) in enumerate(xs)})
+
+
+@settings(max_examples=150, deadline=None)
+@given(filters=intervals, x=st.floats(0, 1, allow_nan=False))
+def test_property_reduction_preserves_matching_semantics(filters, x):
+    """An event matches the reduced set iff it matches the original set."""
+    kept = reduce_by_covering(filters)
+    orig = any(f.matches(ev(x)) for f in filters.values())
+    red = any(f.matches(ev(x)) for f in kept.values())
+    assert orig == red
+
+
+@settings(max_examples=150, deadline=None)
+@given(filters=intervals)
+def test_property_reduction_is_subset_and_minimal(filters):
+    kept = reduce_by_covering(filters)
+    assert set(kept) <= set(filters)
+    # every dropped filter is covered by some kept one
+    for key, f in filters.items():
+        if key not in kept:
+            assert any(g.covers(f) for g in kept.values())
+    # no kept filter is covered by a different kept filter unless equal-keyed
+    for key, f in kept.items():
+        for other_key, g in kept.items():
+            if other_key != key and g.covers(f):
+                # mutual covering would have been deduplicated
+                assert not f.covers(g) or key == other_key
+
+
+@settings(max_examples=100, deadline=None)
+@given(filters=intervals)
+def test_property_reduction_idempotent(filters):
+    once = reduce_by_covering(filters)
+    twice = reduce_by_covering(once)
+    assert set(once) == set(twice)

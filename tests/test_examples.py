@@ -1,0 +1,30 @@
+"""The examples are part of the public surface: they must keep running."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+@pytest.mark.parametrize(
+    "script",
+    [
+        "quickstart.py",
+        "stock_ticker.py",
+        "fleet_tracking.py",
+        "frequent_mobility.py",
+        "protocol_comparison.py",
+    ],
+)
+def test_example_runs_clean(script):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr
+    assert "OK" in result.stdout

@@ -1,0 +1,156 @@
+"""Tests for the experiment harness: configs, runner, figure drivers."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.config import ExperimentConfig, SCALES, bench_scale
+from repro.experiments.figures import (
+    fig5a,
+    fig5b,
+    fig6a,
+    fig6b,
+    run_fig5,
+    run_fig6,
+)
+from repro.experiments.report import format_series, format_table
+from repro.experiments.runner import run_experiment
+from repro.workload.spec import WorkloadSpec
+
+
+FAST = WorkloadSpec(
+    clients_per_broker=3,
+    mean_connected_s=20.0,
+    mean_disconnected_s=20.0,
+    publish_interval_s=15.0,
+    duration_s=300.0,
+    warmup_s=1.0,
+)
+
+
+@pytest.mark.parametrize("protocol", ["mhh", "sub-unsub", "home-broker"])
+def test_runner_end_to_end_reliability(protocol):
+    row = run_experiment(
+        ExperimentConfig(protocol=protocol, grid_k=3, seed=4, workload=FAST)
+    )
+    assert row.protocol == protocol
+    assert row.published > 0
+    assert row.duplicates == 0
+    assert row.order_violations == 0
+    assert row.missing == 0
+    if protocol != "home-broker":
+        assert row.lost == 0
+
+
+def test_runner_snapshot_excludes_drain_traffic():
+    # a run whose clients are all disconnected at the end: the drain phase
+    # must not add to the snapshot overhead
+    cfg = ExperimentConfig(protocol="mhh", grid_k=3, seed=4, workload=FAST)
+    row = run_experiment(cfg)
+    assert row.overhead_per_handoff is not None
+    assert row.handoffs > 0
+
+
+def test_runner_same_seed_reproducible():
+    cfg = ExperimentConfig(protocol="mhh", grid_k=3, seed=11, workload=FAST)
+    a = run_experiment(cfg)
+    b = run_experiment(cfg)
+    assert a.handoffs == b.handoffs
+    assert a.overhead_per_handoff == b.overhead_per_handoff
+    assert a.delivered == b.delivered
+
+
+def test_workloads_identical_across_protocols():
+    rows = [
+        run_experiment(
+            ExperimentConfig(protocol=p, grid_k=3, seed=4, workload=FAST)
+        )
+        for p in ("mhh", "sub-unsub")
+    ]
+    assert rows[0].published == rows[1].published
+    assert rows[0].handoffs == rows[1].handoffs
+    assert rows[0].expected_deliveries == rows[1].expected_deliveries
+
+
+def test_config_with_workload_override():
+    cfg = ExperimentConfig(protocol="mhh", workload=FAST)
+    cfg2 = cfg.with_workload(mean_connected_s=99.0)
+    assert cfg2.workload.mean_connected_s == 99.0
+    assert cfg.workload.mean_connected_s == 20.0
+    assert "mhh" in cfg2.label()
+
+
+def test_scales_registry_complete():
+    assert set(SCALES) == {"smoke", "small", "paper"}
+    for preset in SCALES.values():
+        assert {"grid_k", "clients_per_broker", "duration_s"} <= set(preset)
+
+
+def test_bench_scale_env(monkeypatch):
+    monkeypatch.delenv("MHH_BENCH_SCALE", raising=False)
+    assert bench_scale() == "smoke"
+    monkeypatch.setenv("MHH_BENCH_SCALE", "paper")
+    assert bench_scale() == "paper"
+    monkeypatch.setenv("MHH_BENCH_SCALE", "bogus")
+    with pytest.raises(ConfigurationError):
+        bench_scale()
+
+
+def test_fig5_sweep_smoke_shapes():
+    rows = run_fig5(
+        scale="smoke",
+        protocols=("mhh", "home-broker"),
+        conn_periods_s=(10.0, 5000.0),
+        seed=2,
+    )
+    assert len(rows) == 4
+    a = fig5a(rows)
+    b = fig5b(rows)
+    assert set(a) == {"mhh", "home-broker"}
+    assert [x for x, _y in a["mhh"]] == [10.0, 5000.0]
+    # HB overhead grows with connection period (triangle routing amortised
+    # over ever fewer handoffs); MHH stays flat and ends up far below
+    hb = dict(a["home-broker"])
+    mhh = dict(a["mhh"])
+    assert hb[5000.0] > 3 * hb[10.0]
+    assert mhh[5000.0] < hb[5000.0]
+    assert mhh[5000.0] < 3 * mhh[10.0] + 10
+    assert all(y is not None for _x, y in b["mhh"])
+
+
+def test_fig6_sweep_smoke_shapes():
+    rows = run_fig6(
+        scale="smoke",
+        protocols=("mhh", "home-broker"),
+        grid_sizes=(3, 5),
+        seed=2,
+    )
+    assert len(rows) == 4
+    a = fig6a(rows)
+    b = fig6b(rows)
+    hb = dict(a["home-broker"])
+    # triangle routing cost grows with network size
+    assert hb[25] > hb[9]
+    assert set(x for x, _ in b["mhh"]) == {9, 25}
+
+
+def test_format_table_and_series_render():
+    rows = run_fig5(
+        scale="smoke", protocols=("mhh",), conn_periods_s=(10.0,), seed=2
+    )
+    table = format_table(rows, title="t")
+    assert "protocol" in table and "mhh" in table
+    series = format_series(
+        fig5a(rows), "conn_s", "overhead", title="Figure 5(a)"
+    )
+    assert "Figure 5(a)" in series
+    assert "mhh" in series
+
+
+def test_cli_runs_smoke(capsys):
+    from repro.experiments.cli import main
+
+    rc = main(["fig6a", "--scale", "smoke", "--seed", "3"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "Figure 6(a)" in out
+    assert "mhh" in out

@@ -1,0 +1,143 @@
+"""Unit + property tests for the interval index (stab and containment)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.pubsub.interval_index import IntervalIndex
+
+
+def test_stab_hits_and_misses():
+    idx = IntervalIndex()
+    idx.add("a", 0.1, 0.4)
+    idx.add("b", 0.3, 0.9)
+    assert idx.stab(0.35)
+    assert idx.stab(0.1)
+    assert idx.stab(0.9)
+    assert not idx.stab(0.05)
+    assert not idx.stab(0.95)
+
+
+def test_empty_index():
+    idx = IntervalIndex()
+    assert not idx.stab(0.5)
+    assert not idx.contains_interval(0.1, 0.2)
+    assert len(idx) == 0
+
+
+def test_remove_and_discard():
+    idx = IntervalIndex()
+    idx.add("a", 0.0, 1.0)
+    assert idx.stab(0.5)
+    idx.remove("a")
+    assert not idx.stab(0.5)
+    idx.discard("a")  # absent: no error
+    idx.add("b", 0.2, 0.4)
+    idx.discard("b")
+    assert not idx.stab(0.3)
+
+
+def test_replace_same_key():
+    idx = IntervalIndex()
+    idx.add("a", 0.0, 0.1)
+    idx.add("a", 0.5, 0.6)
+    assert not idx.stab(0.05)
+    assert idx.stab(0.55)
+    assert len(idx) == 1
+
+
+def test_contains_interval():
+    idx = IntervalIndex()
+    idx.add("a", 0.1, 0.5)
+    assert idx.contains_interval(0.2, 0.4)
+    assert idx.contains_interval(0.1, 0.5)
+    assert not idx.contains_interval(0.05, 0.3)
+    assert not idx.contains_interval(0.2, 0.6)
+
+
+def test_contains_interval_exclude_self():
+    idx = IntervalIndex()
+    idx.add("a", 0.1, 0.5)
+    assert not idx.contains_interval(0.1, 0.5, exclude="a")
+    idx.add("b", 0.0, 0.9)
+    assert idx.contains_interval(0.1, 0.5, exclude="a")
+
+
+def test_contains_interval_exclude_with_equal_intervals():
+    idx = IntervalIndex()
+    idx.add("a", 0.2, 0.4)
+    idx.add("b", 0.2, 0.4)
+    assert idx.contains_interval(0.2, 0.4, exclude="a")
+    assert idx.contains_interval(0.2, 0.4, exclude="b")
+
+
+def test_stabbing_keys():
+    idx = IntervalIndex()
+    idx.add("a", 0.0, 0.5)
+    idx.add("b", 0.4, 0.9)
+    assert set(idx.stabbing_keys(0.45)) == {"a", "b"}
+    assert idx.stabbing_keys(0.95) == []
+
+
+def test_mutation_after_query_rebuilds():
+    idx = IntervalIndex()
+    idx.add("a", 0.0, 0.2)
+    assert idx.stab(0.1)
+    idx.add("b", 0.6, 0.8)
+    assert idx.stab(0.7)  # rebuilt lazily
+
+
+interval_sets = st.lists(
+    st.tuples(st.floats(0, 1, allow_nan=False), st.floats(0, 1, allow_nan=False)),
+    min_size=0, max_size=30,
+)
+
+
+@settings(max_examples=200, deadline=None)
+@given(raw=interval_sets, x=st.floats(0, 1, allow_nan=False))
+def test_property_stab_matches_bruteforce(raw, x):
+    idx = IntervalIndex()
+    items = []
+    for i, (a, b) in enumerate(raw):
+        lo, hi = min(a, b), max(a, b)
+        idx.add(i, lo, hi)
+        items.append((lo, hi))
+    expect = any(lo <= x <= hi for lo, hi in items)
+    assert idx.stab(x) == expect
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    raw=interval_sets,
+    q=st.tuples(st.floats(0, 1, allow_nan=False), st.floats(0, 1, allow_nan=False)),
+    exclude=st.one_of(st.none(), st.integers(0, 29)),
+)
+def test_property_containment_matches_bruteforce(raw, q, exclude):
+    idx = IntervalIndex()
+    items = {}
+    for i, (a, b) in enumerate(raw):
+        lo, hi = min(a, b), max(a, b)
+        idx.add(i, lo, hi)
+        items[i] = (lo, hi)
+    qlo, qhi = min(q), max(q)
+    expect = any(
+        lo <= qlo and qhi <= hi
+        for key, (lo, hi) in items.items()
+        if key != exclude
+    )
+    assert idx.contains_interval(qlo, qhi, exclude=exclude) == expect
+
+
+@settings(max_examples=100, deadline=None)
+@given(raw=interval_sets, x=st.floats(0, 1, allow_nan=False), data=st.data())
+def test_property_removal_consistency(raw, x, data):
+    idx = IntervalIndex()
+    items = {}
+    for i, (a, b) in enumerate(raw):
+        lo, hi = min(a, b), max(a, b)
+        idx.add(i, lo, hi)
+        items[i] = (lo, hi)
+    if items:
+        victim = data.draw(st.sampled_from(sorted(items)))
+        idx.remove(victim)
+        del items[victim]
+    expect = any(lo <= x <= hi for lo, hi in items.values())
+    assert idx.stab(x) == expect

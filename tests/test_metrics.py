@@ -1,0 +1,197 @@
+"""Unit tests for the metrics layer."""
+
+from repro.metrics.delivery import DeliveryChecker
+from repro.metrics.handoff import HandoffLog
+from repro.metrics.summary import ResultRow, summarize
+from repro.metrics.hub import MetricsHub
+from repro.metrics.traffic import TrafficMeter
+from repro.pubsub.events import Notification
+from repro.pubsub import messages as m
+
+
+def ev(i, publisher=0, seq=None, topic=0.5, t=0.0):
+    return Notification(i, publisher, seq if seq is not None else i, t, topic)
+
+
+# ---------------------------------------------------------------------------
+# TrafficMeter
+# ---------------------------------------------------------------------------
+class TestTrafficMeter:
+    def test_wired_hops_accumulate_per_category(self):
+        tm = TrafficMeter()
+        tm.account("event", 3, False)
+        tm.account("event", 2, False)
+        tm.account("mobility_ctrl", 5, False)
+        assert tm.wired_hops["event"] == 5
+        assert tm.total_wired() == 10
+
+    def test_wireless_tracked_separately(self):
+        tm = TrafficMeter()
+        tm.account("event", 1, True)
+        assert tm.total_wired() == 0
+        assert tm.wireless_msgs["event"] == 1
+
+    def test_overhead_selects_mobility_categories(self):
+        tm = TrafficMeter()
+        tm.account(m.CAT_EVENT, 100, False)
+        tm.account(m.CAT_SUB_INITIAL, 50, False)
+        tm.account(m.CAT_MOBILITY_CTRL, 7, False)
+        tm.account(m.CAT_MIGRATION, 9, False)
+        tm.account(m.CAT_HB_FORWARD, 4, False)
+        tm.account(m.CAT_SUB_HANDOFF, 2, False)
+        assert tm.overhead_hops() == 7 + 9 + 4 + 2
+
+    def test_reset(self):
+        tm = TrafficMeter()
+        tm.account("event", 1, False)
+        tm.reset()
+        assert tm.total_wired() == 0
+
+
+# ---------------------------------------------------------------------------
+# DeliveryChecker
+# ---------------------------------------------------------------------------
+class TestDeliveryChecker:
+    def make(self):
+        dc = DeliveryChecker()
+        dc.register_subscription(1, 0.0, 0.5)
+        dc.register_subscription(2, 0.4, 0.9)
+        return dc
+
+    def test_expected_counts_matching_clients(self):
+        dc = self.make()
+        dc.on_publish(ev(0, topic=0.45))  # matches both
+        dc.on_publish(ev(1, topic=0.1))   # matches 1
+        dc.on_publish(ev(2, topic=0.95))  # matches none
+        assert dc.stats.expected == 3
+        assert dc.expected_per_client == {1: 2, 2: 1}
+
+    def test_delivery_balances(self):
+        dc = self.make()
+        e = ev(0, topic=0.45)
+        dc.on_publish(e)
+        dc.on_delivery(1, e, 10.0)
+        dc.on_delivery(2, e, 11.0)
+        assert dc.stats.missing == 0
+
+    def test_duplicate_detected(self):
+        dc = self.make()
+        e = ev(0, topic=0.2)
+        dc.on_publish(e)
+        dc.on_delivery(1, e, 10.0)
+        dc.on_delivery(1, e, 11.0)
+        assert dc.stats.duplicates == 1
+        assert dc.stats.missing == 0
+
+    def test_order_violation_detected_per_publisher(self):
+        dc = self.make()
+        e1 = ev(0, publisher=7, seq=0, topic=0.2)
+        e2 = ev(1, publisher=7, seq=1, topic=0.2)
+        dc.on_publish(e1)
+        dc.on_publish(e2)
+        dc.on_delivery(1, e2, 10.0)
+        dc.on_delivery(1, e1, 11.0)  # older after newer
+        assert dc.stats.order_violations == 1
+
+    def test_order_across_publishers_unconstrained(self):
+        dc = self.make()
+        a = ev(0, publisher=7, seq=5, topic=0.2)
+        b = ev(1, publisher=8, seq=0, topic=0.2)
+        dc.on_publish(a)
+        dc.on_publish(b)
+        dc.on_delivery(1, a, 10.0)
+        dc.on_delivery(1, b, 11.0)
+        assert dc.stats.order_violations == 0
+
+    def test_explicit_loss(self):
+        dc = self.make()
+        e = ev(0, topic=0.2)
+        dc.on_publish(e)
+        dc.on_loss(1, e)
+        assert dc.stats.lost_explicit == 1
+        assert dc.stats.missing == 0
+
+    def test_matching_clients_vectorised(self):
+        dc = self.make()
+        assert set(dc.matching_clients(0.45).tolist()) == {1, 2}
+        assert set(dc.matching_clients(0.95).tolist()) == set()
+
+    def test_per_client_missing_diagnostics(self):
+        dc = self.make()
+        e = ev(0, topic=0.2)
+        dc.on_publish(e)
+        assert dc.per_client_missing() == {1: 1}
+
+
+# ---------------------------------------------------------------------------
+# HandoffLog
+# ---------------------------------------------------------------------------
+class TestHandoffLog:
+    def test_first_attach_is_not_a_handoff(self):
+        log = HandoffLog()
+        log.on_connect(1, 10.0, None, 3)
+        assert log.handoff_count == 0
+
+    def test_same_broker_reconnect_counted_separately(self):
+        log = HandoffLog()
+        log.on_connect(1, 10.0, 3, 3)
+        assert log.handoff_count == 0
+        assert log.reconnects_same_broker == 1
+
+    def test_delay_measures_first_delivery_only(self):
+        log = HandoffLog()
+        log.on_connect(1, 10.0, 3, 4)
+        log.on_delivery(1, 150.0)
+        log.on_delivery(1, 200.0)
+        assert log.delays() == [140.0]
+        assert log.mean_delay() == 140.0
+
+    def test_disconnect_before_delivery_discards_open_record(self):
+        log = HandoffLog()
+        log.on_connect(1, 10.0, 3, 4)
+        log.on_disconnect(1, 50.0)
+        log.on_delivery(1, 150.0)
+        assert log.delays() == []
+        assert log.handoff_count == 1  # the handoff still happened
+
+    def test_mean_delay_none_when_no_samples(self):
+        assert HandoffLog().mean_delay() is None
+
+
+# ---------------------------------------------------------------------------
+# hub + summary
+# ---------------------------------------------------------------------------
+def test_hub_wires_delivery_and_handoffs():
+    hub = MetricsHub()
+    hub.delivery.register_subscription(1, 0.0, 1.0)
+    hub.on_client_connect(1, 0.0, None, 0)
+    hub.on_client_connect(1, 100.0, 0, 3)  # a handoff
+    e = ev(0, topic=0.5)
+    hub.on_publish(e)
+    hub.on_delivery(1, e, 180.0)
+    assert hub.handoffs.handoff_count == 1
+    assert hub.mean_handoff_delay() == 80.0
+    hub.account(m.CAT_MIGRATION, 10, False)
+    assert hub.overhead_per_handoff() == 10.0
+
+
+def test_overhead_per_handoff_none_without_handoffs():
+    hub = MetricsHub()
+    hub.account(m.CAT_MIGRATION, 10, False)
+    assert hub.overhead_per_handoff() is None
+
+
+def test_summarize_builds_row():
+    hub = MetricsHub()
+    hub.delivery.register_subscription(1, 0.0, 1.0)
+    e = ev(0, topic=0.5)
+    hub.on_publish(e)
+    hub.on_delivery(1, e, 5.0)
+    row = summarize("mhh", hub, {"k": 3}, sim_events=42, wall_seconds=0.1)
+    assert isinstance(row, ResultRow)
+    assert row.protocol == "mhh"
+    assert row.delivered == 1
+    assert row.params["k"] == 3
+    d = row.as_dict()
+    assert d["protocol"] == "mhh"
+    assert d["missing"] == 0

@@ -1,0 +1,304 @@
+"""Scenario tests for the MHH protocol (paper §4).
+
+Each test drives a specific situation from the paper — silent move,
+proclaimed move, same-broker reconnect, frequent moving with stop +
+relinked PQlist — and asserts the externally observable guarantees:
+exactly-once, per-publisher order, no loss, and a clean (quiescent) system.
+"""
+
+import pytest
+
+from repro.pubsub.filters import RangeFilter
+from repro.pubsub.system import PubSubSystem
+
+
+def build(k=3, seed=1, trace=None):
+    return PubSubSystem(grid_k=k, protocol="mhh", seed=seed, trace=trace)
+
+
+def pair(system, sub_broker, pub_broker):
+    sub = system.add_client(RangeFilter(0.0, 0.5), broker=sub_broker, mobile=True)
+    pub = system.add_client(RangeFilter(0.9, 0.9), broker=pub_broker)
+    sub.connect(sub_broker)
+    pub.connect(pub_broker)
+    system.run(until=2000.0)
+    return sub, pub
+
+
+def finish(system):
+    system.sim.run()
+    assert system.sim.peek() is None
+    assert system.protocol.quiescent()
+
+
+def assert_clean(system):
+    stats = system.metrics.delivery.stats
+    assert stats.duplicates == 0
+    assert stats.order_violations == 0
+    assert stats.lost_explicit == 0
+    assert stats.missing == 0
+    assert stats.delivered == stats.expected
+
+
+def test_silent_move_delivers_stored_backlog(caplog=None):
+    system = build()
+    sub, pub = pair(system, 0, 8)
+    sub.disconnect()
+    system.run(until=4000.0)
+    for _ in range(5):
+        pub.publish(0.25)
+    system.run(until=8000.0)
+    sub.connect(4)
+    finish(system)
+    assert_clean(system)
+    assert system.metrics.delivery.stats.delivered == 5
+    assert system.metrics.handoffs.handoff_count == 1
+
+
+def test_silent_move_handoff_delay_is_short():
+    system = build(k=5)
+    sub, pub = pair(system, 0, 24)
+    sub.disconnect()
+    system.run(until=4000.0)
+    pub.publish(0.25)
+    system.run(until=8000.0)
+    sub.connect(24)
+    finish(system)
+    delay = system.metrics.handoffs.mean_delay()
+    # one control round between new and old broker + first event flight +
+    # wireless; far below the sub-unsub safety-interval regime
+    assert delay is not None
+    assert delay < 500.0
+
+
+def test_same_broker_reconnect_is_not_a_handoff():
+    system = build()
+    sub, pub = pair(system, 0, 8)
+    sub.disconnect()
+    system.run(until=3000.0)
+    for _ in range(3):
+        pub.publish(0.3)
+    system.run(until=6000.0)
+    sub.connect(0)
+    finish(system)
+    assert_clean(system)
+    assert system.metrics.handoffs.handoff_count == 0
+    assert system.metrics.handoffs.reconnects_same_broker == 1
+    assert system.metrics.delivery.stats.delivered == 3
+
+
+def test_events_published_during_migration_are_not_lost():
+    system = build(k=5)
+    sub, pub = pair(system, 0, 12)
+    sub.disconnect()
+    system.run(until=3000.0)
+    sub.connect(24)
+    # publish while the handoff is in full flight
+    for _ in range(10):
+        pub.publish(0.1)
+        system.run(until=system.sim.now + 7.0)
+    finish(system)
+    assert_clean(system)
+    assert system.metrics.delivery.stats.delivered == 10
+
+
+def test_proclaimed_move_pre_stages_subscription():
+    system = build(k=4, trace=["proclaimed_move", "anchor_formed"])
+    sub, pub = pair(system, 0, 5)
+    sub.proclaim_and_disconnect(15)
+    system.run(until=4000.0)
+    # events published while the client is off the air route to the new
+    # broker already
+    for _ in range(4):
+        pub.publish(0.2)
+    system.run(until=8000.0)
+    sub.connect(15)
+    finish(system)
+    assert_clean(system)
+    assert system.metrics.delivery.stats.delivered == 4
+    assert len(system.tracer.select("proclaimed_move")) == 1
+    anchors = system.tracer.select("anchor_formed")
+    assert [r.get("broker") for r in anchors] == [15]
+
+
+def test_proclaimed_move_to_current_broker_degenerates_to_silent():
+    system = build()
+    sub, pub = pair(system, 3, 8)
+    sub.proclaim_and_disconnect(3)
+    system.run(until=3000.0)
+    pub.publish(0.4)
+    system.run(until=5000.0)
+    sub.connect(3)
+    finish(system)
+    assert_clean(system)
+    assert system.metrics.handoffs.handoff_count == 0
+
+
+def test_proclaimed_move_but_reconnect_elsewhere():
+    system = build(k=4)
+    sub, pub = pair(system, 0, 5)
+    sub.proclaim_and_disconnect(15)
+    system.run(until=4000.0)
+    pub.publish(0.2)
+    system.run(until=8000.0)
+    sub.connect(9)  # changed its mind
+    finish(system)
+    assert_clean(system)
+    assert system.metrics.delivery.stats.delivered == 1
+
+
+def test_two_consecutive_moves():
+    system = build(k=4)
+    sub, pub = pair(system, 0, 5)
+    for target in (15, 3):
+        sub.disconnect()
+        system.run(until=system.sim.now + 2000.0)
+        pub.publish(0.1)
+        system.run(until=system.sim.now + 2000.0)
+        sub.connect(target)
+        system.run(until=system.sim.now + 3000.0)
+    finish(system)
+    assert_clean(system)
+    assert system.metrics.delivery.stats.delivered == 2
+    assert system.metrics.handoffs.handoff_count == 2
+
+
+def test_rapid_move_mid_migration_stops_and_relinks():
+    """The §4.3 case: disconnect before the event migration completes."""
+    system = build(k=5, trace=["stopped_migration", "migration_complete"])
+    sub, pub = pair(system, 0, 12)
+    sub.disconnect()
+    system.run(until=3000.0)
+    # large backlog so the stream cannot finish instantly
+    for _ in range(40):
+        pub.publish(0.2)
+    system.run(until=9000.0)
+    sub.connect(24)
+    # yank the client away immediately: the wireless drain of 40 events
+    # takes 800 ms; leave after 100 ms
+    system.run(until=system.sim.now + 100.0)
+    sub.disconnect()
+    system.run(until=system.sim.now + 5000.0)
+    # reconnect somewhere else: the relinked, distributed PQlist must drain
+    sub.connect(7)
+    finish(system)
+    assert_clean(system)
+    assert system.metrics.delivery.stats.delivered == 40
+
+
+def test_bounce_back_to_old_broker_mid_migration():
+    system = build(k=5)
+    sub, pub = pair(system, 0, 12)
+    sub.disconnect()
+    system.run(until=3000.0)
+    for _ in range(30):
+        pub.publish(0.2)
+    system.run(until=9000.0)
+    sub.connect(24)
+    system.run(until=system.sim.now + 60.0)
+    sub.disconnect()
+    system.run(until=system.sim.now + 50.0)
+    sub.connect(0)  # back to the original broker
+    finish(system)
+    assert_clean(system)
+    assert system.metrics.delivery.stats.delivered == 30
+
+
+def test_pingpong_many_rapid_moves():
+    system = build(k=4)
+    sub, pub = pair(system, 0, 5)
+    sub.disconnect()
+    system.run(until=3000.0)
+    for _ in range(25):
+        pub.publish(0.3)
+    system.run(until=8000.0)
+    # ping-pong between brokers faster than any migration can finish
+    for target in (15, 2, 13, 4, 11):
+        sub.connect(target)
+        system.run(until=system.sim.now + 45.0)
+        sub.disconnect()
+        system.run(until=system.sim.now + 30.0)
+    sub.connect(8)
+    finish(system)
+    assert_clean(system)
+    assert system.metrics.delivery.stats.delivered == 25
+
+
+def test_publish_while_moving_self_subscription():
+    """A mobile client that also publishes events matching itself."""
+    system = build(k=4)
+    sub = system.add_client(RangeFilter(0.0, 1.0), broker=0, mobile=True)
+    sub.connect(0)
+    system.run(until=2000.0)
+    sub.publish(0.5)
+    system.run(until=4000.0)
+    sub.disconnect()
+    system.run(until=5000.0)
+    sub.connect(15)
+    system.run(until=7000.0)
+    sub.publish(0.6)
+    finish(system)
+    assert_clean(system)
+    assert system.metrics.delivery.stats.delivered == 2
+
+
+def test_mirror_invariant_after_many_migrations():
+    system = build(k=4)
+    sub, pub = pair(system, 0, 5)
+    for target in (15, 3, 12, 7):
+        sub.disconnect()
+        system.run(until=system.sim.now + 1500.0)
+        pub.publish(0.2)
+        system.run(until=system.sim.now + 1500.0)
+        sub.connect(target)
+        system.run(until=system.sim.now + 2500.0)
+    finish(system)
+    system.check_mirror_invariant()
+    assert_clean(system)
+
+
+def test_queues_cleaned_up_after_settling():
+    system = build(k=4)
+    sub, pub = pair(system, 0, 5)
+    for target in (15, 3):
+        sub.disconnect()
+        system.run(until=system.sim.now + 1500.0)
+        pub.publish(0.2)
+        system.run(until=system.sim.now + 1500.0)
+        sub.connect(target)
+        system.run(until=system.sim.now + 2500.0)
+    finish(system)
+    # the client is connected and live: no queues should remain anywhere
+    leftover = [
+        (b.id, q)
+        for b in system.brokers.values()
+        for q in b.queues.values()
+        if q.client == sub.id
+    ]
+    assert leftover == []
+
+
+def test_concurrent_clients_do_not_interfere():
+    """The paper's §2 claim: MHH handoffs are independent across clients."""
+    system = build(k=4)
+    movers = []
+    for b in range(8):
+        c = system.add_client(RangeFilter(0.0, 0.6), broker=b, mobile=True)
+        c.connect(b)
+        movers.append(c)
+    pub = system.add_client(RangeFilter(0.9, 0.9), broker=15)
+    pub.connect(15)
+    system.run(until=3000.0)
+    for c in movers:
+        c.disconnect()
+    system.run(until=4000.0)
+    for _ in range(6):
+        pub.publish(0.3)
+    system.run(until=6000.0)
+    # all reconnect at once at shuffled targets
+    for i, c in enumerate(movers):
+        c.connect((i * 5 + 3) % 16)
+    finish(system)
+    assert_clean(system)
+    assert system.metrics.delivery.stats.delivered == 6 * 8
+    assert system.metrics.handoffs.handoff_count == 8

@@ -1,0 +1,107 @@
+"""Unit + property tests for shortest paths in the physical network."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import RoutingError
+from repro.network.paths import ShortestPaths
+from repro.network.topology import Topology, grid_topology
+
+
+def manhattan(k, u, v):
+    return abs(u // k - v // k) + abs(u % k - v % k)
+
+
+def test_grid_distance_is_manhattan():
+    k = 6
+    sp = ShortestPaths(grid_topology(k))
+    for u, v in [(0, 35), (3, 33), (7, 7), (10, 25)]:
+        assert sp.distance(u, v) == manhattan(k, u, v)
+        assert sp.hop_count(u, v) == manhattan(k, u, v)
+
+
+def test_path_is_shortest_and_valid():
+    k = 5
+    topo = grid_topology(k)
+    sp = ShortestPaths(topo)
+    path = sp.path(0, 24)
+    assert path[0] == 0 and path[-1] == 24
+    assert len(path) - 1 == manhattan(k, 0, 24)
+    for a, b in zip(path, path[1:]):
+        assert topo.has_edge(a, b)
+
+
+def test_next_hop_reduces_distance():
+    k = 7
+    sp = ShortestPaths(grid_topology(k))
+    cur, dst = 0, 48
+    steps = 0
+    while cur != dst:
+        nxt = sp.next_hop(cur, dst)
+        assert sp.distance(nxt, dst) == sp.distance(cur, dst) - 1
+        cur = nxt
+        steps += 1
+    assert steps == manhattan(k, 0, 48)
+
+
+def test_next_hop_self():
+    sp = ShortestPaths(grid_topology(3))
+    assert sp.next_hop(5, 5) == 5
+
+
+def test_weighted_dijkstra():
+    # 0-1 cheap+cheap beats 0-2 direct expensive
+    topo = Topology(3, [(0, 1, 1.0), (1, 2, 1.0), (0, 2, 5.0)])
+    sp = ShortestPaths(topo)
+    assert sp.distance(0, 2) == 2.0
+    assert sp.path(0, 2) == [0, 1, 2]
+    assert sp.hop_count(0, 2) == 2
+
+
+def test_disconnected_raises():
+    sp = ShortestPaths(Topology(4, [(0, 1), (2, 3)]))
+    with pytest.raises(RoutingError):
+        sp.distance(0, 3)
+    with pytest.raises(RoutingError):
+        sp.next_hop(0, 3)
+
+
+def test_diameter_and_average_grid():
+    k = 5
+    sp = ShortestPaths(grid_topology(k))
+    assert sp.diameter() == 2 * (k - 1)
+    # exact closed form for mean Manhattan distance over ordered pairs
+    expected_axis = (k * k - 1) / (3 * k)
+    assert sp.average_distance() == pytest.approx(
+        2 * expected_axis * (k * k) / (k * k - 1), rel=0.05
+    )
+
+
+def test_matches_networkx_lengths():
+    nx = pytest.importorskip("networkx")
+    topo = Topology(6, [
+        (0, 1, 2.0), (1, 2, 2.0), (0, 3, 1.0), (3, 4, 1.0),
+        (4, 2, 1.0), (2, 5, 3.0), (1, 5, 9.0),
+    ])
+    sp = ShortestPaths(topo)
+    g = nx.Graph()
+    for u, v, w in topo.edges():
+        g.add_edge(u, v, weight=w)
+    for src in range(6):
+        lengths = nx.single_source_dijkstra_path_length(g, src)
+        for dst, d in lengths.items():
+            assert sp.distance(src, dst) == pytest.approx(d)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    k=st.integers(min_value=2, max_value=8),
+    data=st.data(),
+)
+def test_property_triangle_inequality_on_grid(k, data):
+    sp = ShortestPaths(grid_topology(k))
+    n = k * k
+    a = data.draw(st.integers(0, n - 1))
+    b = data.draw(st.integers(0, n - 1))
+    c = data.draw(st.integers(0, n - 1))
+    assert sp.distance(a, c) <= sp.distance(a, b) + sp.distance(b, c)

@@ -1,0 +1,128 @@
+"""Unit tests for generator-based processes."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.core import Simulator
+from repro.sim.process import spawn
+
+
+def test_process_runs_segments_at_yielded_delays():
+    sim = Simulator()
+    log = []
+
+    def worker():
+        log.append(("a", sim.now))
+        yield 10.0
+        log.append(("b", sim.now))
+        yield 5.0
+        log.append(("c", sim.now))
+
+    spawn(sim, worker())
+    sim.run()
+    assert log == [("a", 0.0), ("b", 10.0), ("c", 15.0)]
+
+
+def test_start_delay_offsets_first_segment():
+    sim = Simulator()
+    log = []
+
+    def worker():
+        log.append(sim.now)
+        yield 1.0
+        log.append(sim.now)
+
+    spawn(sim, worker(), start_delay=7.0)
+    sim.run()
+    assert log == [7.0, 8.0]
+
+
+def test_process_completion_marks_not_alive():
+    sim = Simulator()
+
+    def worker():
+        yield 1.0
+
+    p = spawn(sim, worker())
+    assert p.alive
+    sim.run()
+    assert not p.alive
+
+
+def test_interrupt_stops_pending_wakeup():
+    sim = Simulator()
+    log = []
+
+    def worker():
+        log.append("start")
+        yield 10.0
+        log.append("never")
+
+    p = spawn(sim, worker())
+    sim.run(until=5.0)
+    p.interrupt()
+    sim.run()
+    assert log == ["start"]
+    assert not p.alive
+
+
+def test_interrupt_is_idempotent():
+    sim = Simulator()
+
+    def worker():
+        yield 10.0
+
+    p = spawn(sim, worker())
+    p.interrupt()
+    p.interrupt()
+    sim.run()
+
+
+def test_interrupt_triggers_generator_cleanup():
+    sim = Simulator()
+    cleaned = []
+
+    def worker():
+        try:
+            yield 10.0
+        finally:
+            cleaned.append(True)
+
+    p = spawn(sim, worker())
+    sim.run(until=1.0)
+    p.interrupt()
+    assert cleaned == [True]
+
+
+def test_non_generator_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        spawn(sim, lambda: None)  # type: ignore[arg-type]
+
+
+def test_negative_yield_kills_process():
+    sim = Simulator()
+
+    def worker():
+        yield -1.0
+
+    spawn(sim, worker())
+    with pytest.raises(SimulationError):
+        sim.run()
+
+
+def test_two_processes_interleave():
+    sim = Simulator()
+    log = []
+
+    def worker(name, period):
+        while sim.now < 10.0:
+            log.append((name, sim.now))
+            yield period
+
+    spawn(sim, worker("fast", 3.0))
+    spawn(sim, worker("slow", 5.0))
+    sim.run(until=11.0)
+    assert ("fast", 3.0) in log and ("slow", 5.0) in log
+    times_fast = [t for n, t in log if n == "fast"]
+    assert times_fast == sorted(times_fast)

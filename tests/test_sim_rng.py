@@ -1,0 +1,60 @@
+"""Unit tests for named random streams."""
+
+from repro.sim.rng import RandomStreams
+
+
+def test_same_seed_same_stream_reproduces():
+    a = RandomStreams(42).stream("x")
+    b = RandomStreams(42).stream("x")
+    assert [float(a.random()) for _ in range(5)] == [
+        float(b.random()) for _ in range(5)
+    ]
+
+
+def test_different_names_are_independent():
+    rs = RandomStreams(42)
+    a = [float(rs.stream("a").random()) for _ in range(5)]
+    b = [float(rs.stream("b").random()) for _ in range(5)]
+    assert a != b
+
+
+def test_different_seeds_differ():
+    a = RandomStreams(1).stream("x")
+    b = RandomStreams(2).stream("x")
+    assert float(a.random()) != float(b.random())
+
+
+def test_stream_is_cached():
+    rs = RandomStreams(7)
+    assert rs.stream("s") is rs.stream("s")
+
+
+def test_draw_order_in_one_stream_does_not_affect_other():
+    # consume lots of stream "a", then check "b" matches a fresh instance
+    rs1 = RandomStreams(5)
+    for _ in range(1000):
+        rs1.stream("a").random()
+    b1 = float(rs1.stream("b").random())
+    rs2 = RandomStreams(5)
+    b2 = float(rs2.stream("b").random())
+    assert b1 == b2
+
+
+def test_exponential_mean_roughly_correct():
+    rs = RandomStreams(3)
+    n = 4000
+    total = sum(rs.exponential("e", 250.0) for _ in range(n))
+    assert 220.0 < total / n < 280.0
+
+
+def test_integers_in_range():
+    rs = RandomStreams(3)
+    draws = {rs.integers("i", 0, 4) for _ in range(200)}
+    assert draws == {0, 1, 2, 3}
+
+
+def test_uniform_in_range():
+    rs = RandomStreams(3)
+    for _ in range(100):
+        x = rs.uniform("u", 2.0, 3.0)
+        assert 2.0 <= x < 3.0

@@ -1,0 +1,148 @@
+"""Unit + property tests for the MST overlay."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import TopologyError
+from repro.network.spanning_tree import SpanningTree, minimum_spanning_tree
+from repro.network.topology import Topology, grid_topology
+
+
+def test_tree_has_n_minus_1_edges():
+    for k in [2, 4, 7]:
+        t = minimum_spanning_tree(grid_topology(k), seed=0)
+        assert sum(1 for _ in t.edges()) == k * k - 1
+
+
+def test_tree_edges_are_topology_edges():
+    topo = grid_topology(5)
+    t = minimum_spanning_tree(topo, seed=3)
+    for child, parent in t.edges():
+        assert topo.has_edge(child, parent)
+
+
+def test_deterministic_per_seed():
+    a = minimum_spanning_tree(grid_topology(6), seed=9)
+    b = minimum_spanning_tree(grid_topology(6), seed=9)
+    assert a.parent == b.parent
+
+
+def test_different_seeds_give_different_trees():
+    a = minimum_spanning_tree(grid_topology(6), seed=1)
+    b = minimum_spanning_tree(grid_topology(6), seed=2)
+    assert a.parent != b.parent
+
+
+def test_disconnected_rejected():
+    topo = Topology(4, [(0, 1), (2, 3)])
+    with pytest.raises(TopologyError):
+        minimum_spanning_tree(topo, seed=0)
+
+
+def test_weighted_mst_picks_light_edges():
+    # triangle with one heavy edge: MST must avoid it
+    topo = Topology(3, [(0, 1, 1.0), (1, 2, 1.0), (0, 2, 10.0)])
+    t = minimum_spanning_tree(topo, seed=0)
+    edges = {frozenset(e) for e in t.edges()}
+    assert frozenset((0, 2)) not in edges
+
+
+def test_matches_networkx_mst_weight():
+    nx = pytest.importorskip("networkx")
+    rngedges = [
+        (0, 1, 4.0), (0, 2, 1.0), (1, 2, 2.0), (1, 3, 5.0),
+        (2, 3, 8.0), (2, 4, 10.0), (3, 4, 2.0), (0, 4, 7.0),
+    ]
+    topo = Topology(5, rngedges)
+    t = minimum_spanning_tree(topo, seed=0)
+    our_weight = sum(topo.weight(u, v) for u, v in t.edges())
+    g = nx.Graph()
+    g.add_weighted_edges_from(rngedges)
+    their_weight = sum(
+        d["weight"] for *_uv, d in nx.minimum_spanning_tree(g).edges(data=True)
+    )
+    assert our_weight == pytest.approx(their_weight)
+
+
+def test_path_endpoints_and_adjacency():
+    t = minimum_spanning_tree(grid_topology(6), seed=4)
+    path = t.path(0, 35)
+    assert path[0] == 0 and path[-1] == 35
+    adj = {u: set(t.neighbors(u)) for u in range(36)}
+    for a, b in zip(path, path[1:]):
+        assert b in adj[a]
+    assert len(set(path)) == len(path)  # simple path
+
+
+def test_distance_matches_path_length():
+    t = minimum_spanning_tree(grid_topology(5), seed=2)
+    for u, v in [(0, 24), (3, 17), (12, 12), (4, 20)]:
+        assert t.distance(u, v) == len(t.path(u, v)) - 1
+
+
+def test_next_hop_walks_the_path():
+    t = minimum_spanning_tree(grid_topology(5), seed=2)
+    path = t.path(2, 22)
+    cur = 2
+    walked = [cur]
+    while cur != 22:
+        cur = t.next_hop(cur, 22)
+        walked.append(cur)
+    assert walked == path
+
+
+def test_next_hop_self():
+    t = minimum_spanning_tree(grid_topology(3), seed=0)
+    assert t.next_hop(4, 4) == 4
+
+
+def test_diameter_bounds():
+    k = 6
+    t = minimum_spanning_tree(grid_topology(k), seed=1)
+    d = t.diameter()
+    assert 2 * (k - 1) <= d <= k * k - 1
+
+
+def test_average_distance_positive_and_below_diameter():
+    t = minimum_spanning_tree(grid_topology(5), seed=1)
+    avg = t.average_distance()
+    assert 0 < avg <= t.diameter()
+
+
+def test_bad_parent_vector_rejected():
+    with pytest.raises(TopologyError):
+        SpanningTree([1, 0, -1], root=2)  # 0,1 form a detached cycle
+    with pytest.raises(TopologyError):
+        SpanningTree([0, 0, 1], root=0)  # root parent must be -1
+
+
+@settings(max_examples=25, deadline=None)
+@given(k=st.integers(min_value=2, max_value=7), seed=st.integers(0, 1000))
+def test_property_tree_is_spanning_and_acyclic(k, seed):
+    t = minimum_spanning_tree(grid_topology(k), seed=seed)
+    n = k * k
+    # connectivity: every node reaches the root by parent pointers, with no
+    # cycles (bounded walk)
+    for v in range(n):
+        seen = set()
+        cur = v
+        while cur != t.root:
+            assert cur not in seen
+            seen.add(cur)
+            cur = t.parent[cur]
+            assert cur != -1
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    k=st.integers(min_value=2, max_value=6),
+    seed=st.integers(0, 50),
+    data=st.data(),
+)
+def test_property_tree_distance_symmetric(k, seed, data):
+    t = minimum_spanning_tree(grid_topology(k), seed=seed)
+    n = k * k
+    u = data.draw(st.integers(0, n - 1))
+    v = data.draw(st.integers(0, n - 1))
+    assert t.distance(u, v) == t.distance(v, u)
+    assert t.distance(u, v) >= (0 if u == v else 1)

@@ -1,0 +1,83 @@
+"""Unit tests for the tracer and the notification model."""
+
+from repro.pubsub.events import Notification
+from repro.sim.trace import Tracer, TraceRecord
+
+
+class TestTracer:
+    def test_disabled_by_default(self):
+        t = Tracer(lambda: 1.0)
+        t.emit("anything", x=1)
+        assert t.records == []
+        assert not t.wants("anything")
+
+    def test_category_filtering(self):
+        t = Tracer(lambda: 2.0, enabled=["a"])
+        t.emit("a", v=1)
+        t.emit("b", v=2)
+        assert len(t.records) == 1
+        assert t.wants("a") and not t.wants("b")
+
+    def test_wildcard_records_all(self):
+        t = Tracer(lambda: 3.0, enabled="*")
+        t.emit("x")
+        t.emit("y")
+        assert len(t.records) == 2
+
+    def test_record_fields_and_time(self):
+        now = [0.0]
+        t = Tracer(lambda: now[0], enabled="*")
+        now[0] = 42.0
+        t.emit("evt", broker=3, client=7)
+        rec = t.records[0]
+        assert rec.time == 42.0
+        assert rec.get("broker") == 3
+        assert rec.get("missing", "dflt") == "dflt"
+        assert rec.as_dict() == {"broker": 3, "client": 7}
+
+    def test_select_and_format(self):
+        t = Tracer(lambda: 1.0, enabled="*")
+        t.emit("a", x=1)
+        t.emit("b", y=2)
+        t.emit("a", x=3)
+        assert [r.get("x") for r in t.select("a")] == [1, 3]
+        text = t.format()
+        assert "a" in text and "y=2" in text
+        assert len(t.format(limit=1).splitlines()) == 1
+
+    def test_clear(self):
+        t = Tracer(lambda: 1.0, enabled="*")
+        t.emit("a")
+        t.clear()
+        assert t.records == []
+
+
+class TestNotification:
+    def test_get_topic_and_publisher(self):
+        e = Notification(1, 7, 3, 100.0, 0.25)
+        assert e.get("topic") == 0.25
+        assert e.get("publisher") == 7
+        assert e.get("other") is None
+
+    def test_get_custom_attrs(self):
+        e = Notification(1, 7, 3, 100.0, 0.25, {"kind": "alert"})
+        assert e.get("kind") == "alert"
+        assert e.get("nope", 0) == 0
+
+    def test_order_key_sorts_by_publish_time(self):
+        a = Notification(1, 7, 0, 100.0, 0.1)
+        b = Notification(2, 7, 1, 200.0, 0.1)
+        c = Notification(3, 8, 0, 150.0, 0.1)
+        assert sorted([b, c, a], key=lambda e: e.order_key()) == [a, c, b]
+
+    def test_equality_and_hash_by_event_id(self):
+        a = Notification(5, 7, 0, 100.0, 0.1)
+        b = Notification(5, 8, 9, 999.0, 0.9)
+        assert a == b
+        assert len({a, b}) == 1
+
+    def test_attrs_copied(self):
+        attrs = {"x": 1}
+        e = Notification(1, 7, 0, 0.0, 0.5, attrs)
+        attrs["x"] = 2
+        assert e.get("x") == 1
