@@ -58,6 +58,7 @@ from repro.pubsub import (
     Op,
     covers,
     reduce_by_covering,
+    CountingMatchingEngine,
     Broker,
     Client,
     PubSubSystem,
@@ -108,6 +109,7 @@ __all__ = [
     "Op",
     "covers",
     "reduce_by_covering",
+    "CountingMatchingEngine",
     "Broker",
     "Client",
     "PubSubSystem",

@@ -45,10 +45,19 @@ class MobilityProtocol:
     # life-cycle hooks
     # ------------------------------------------------------------------
     def on_connect(
-        self, broker: "Broker", client: int, last_broker: Optional[int]
+        self,
+        broker: "Broker",
+        client: int,
+        last_broker: Optional[int],
+        epoch: int = 0,
     ) -> None:
         """Client (re)connected at ``broker``; dispatch to first attach /
-        same-broker reconnect / handoff."""
+        same-broker reconnect / handoff.
+
+        ``epoch`` is the client's monotone connect counter; protocols that
+        race handoff control messages against reconnects (MHH) use it to
+        recognise superseded requests. Others may ignore it.
+        """
         raise NotImplementedError
 
     def on_disconnect(self, broker: "Broker", client: int) -> None:

@@ -98,7 +98,11 @@ class HomeBrokerProtocol(MobilityProtocol):
     # life-cycle
     # ------------------------------------------------------------------
     def on_connect(
-        self, broker: "Broker", client: int, last_broker: Optional[int]
+        self,
+        broker: "Broker",
+        client: int,
+        last_broker: Optional[int],
+        epoch: int = 0,
     ) -> None:
         home = self.system.clients[client].home_broker
         if last_broker is None:

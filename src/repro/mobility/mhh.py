@@ -48,8 +48,17 @@ Convergence under arbitrary movement: every (re)connect at a new broker
 issues exactly one ``handoff_request`` aimed at the previous connect
 location, so requests daisy-chain through the sequence of brokers the
 client visits; each anchor serves at most one request at a time and defers
-the next until it has settled. The final request in the chain always points
-at the client's latest location.
+the next until it has settled. Requests are stamped with the client's
+monotone **connect epoch** (carried by ``connect``, ``handoff_request``
+and ``sub_migration``): a broker drops any request older than the newest
+epoch it has witnessed for the client, and a pending request is superseded
+by a newer one. The freshest request always aims at the client's latest
+location, so the subscription chases the client along ever-newer epochs
+and settles where the client last connected — even when reconnects outrun
+the control messages of earlier moves (a client may return to its settled
+anchor before the handoff request of an abandoned reconnect has arrived;
+without epochs that stale request would drag the subscription away from a
+live client with nothing left to chase it back).
 """
 
 from __future__ import annotations
@@ -231,13 +240,17 @@ class _PreAnchor:
 class _State:
     """All MHH roles of one broker for one client."""
 
-    __slots__ = ("anchor", "transit", "pre_anchor", "pending_handoff")
+    __slots__ = ("anchor", "transit", "pre_anchor", "pending_handoff", "epoch")
 
     def __init__(self) -> None:
         self.anchor: Optional[_Anchor] = None
         self.transit: Optional[_Transit] = None
         self.pre_anchor: Optional[_PreAnchor] = None
         self.pending_handoff: Optional[m.HandoffRequest] = None
+        #: highest connect epoch witnessed here for this client (via
+        #: connects, handoff requests, or sub_migrations); anything older
+        #: is a superseded race remnant
+        self.epoch = -1
 
     @property
     def empty(self) -> bool:
@@ -295,9 +308,22 @@ class MHHProtocol(MobilityProtocol):
     # life-cycle
     # ------------------------------------------------------------------
     def on_connect(
-        self, broker: "Broker", client: int, last_broker: Optional[int]
+        self,
+        broker: "Broker",
+        client: int,
+        last_broker: Optional[int],
+        epoch: int = 0,
     ) -> None:
         st = self._state(broker, client)
+        if epoch > st.epoch:
+            st.epoch = epoch
+        if (
+            st.pending_handoff is not None
+            and st.pending_handoff.epoch < st.epoch
+        ):
+            # the client has reconnected here since that request was issued;
+            # the chase it asked for is obsolete
+            st.pending_handoff = None
         anchor = st.anchor
         if anchor is not None and anchor.out_migration is None:
             self._reconnect_at_anchor(broker, client, anchor)
@@ -314,7 +340,7 @@ class MHHProtocol(MobilityProtocol):
                 "handoff_request", client=client, frm=broker.id, to=last_broker
             )
             self.system.links.unicast(
-                broker.id, last_broker, m.HandoffRequest(client, broker.id)
+                broker.id, last_broker, m.HandoffRequest(client, broker.id, epoch)
             )
         if st.pre_anchor is not None and self._present(broker, client):
             # immigrant events already arriving ahead of the sub_migration
@@ -448,7 +474,7 @@ class MHHProtocol(MobilityProtocol):
         self.system.tracer.emit(
             "proclaimed_move", client=client, frm=broker.id, to=dest
         )
-        self._start_out_migration(broker, client, anchor, dest)
+        self._start_out_migration(broker, client, anchor, dest, st.epoch)
 
     # ------------------------------------------------------------------
     # control dispatch
@@ -479,22 +505,36 @@ class MHHProtocol(MobilityProtocol):
     # ------------------------------------------------------------------
     def _on_handoff_request(self, broker: "Broker", msg: m.HandoffRequest) -> None:
         st = self._state(broker, msg.client)
+        if msg.epoch < st.epoch:
+            # Superseded: this broker has already witnessed a newer connect
+            # (the client came back here, or a newer request passed through).
+            # The newest request always aims at the client's latest location,
+            # so the stale one can be dropped without breaking the chase.
+            self.system.tracer.emit(
+                "handoff_request_stale",
+                client=msg.client, broker=broker.id, epoch=msg.epoch,
+            )
+            self._gc(broker, msg.client)
+            return
+        st.epoch = msg.epoch
         anchor = st.anchor
         if anchor is None or anchor.busy:
-            # Not the anchor yet, or the previous migration has not settled.
-            # At most one request can be pending here: requests daisy-chain
-            # through the brokers the client visits.
-            if st.pending_handoff is not None:
-                raise ProtocolError(
-                    f"broker {broker.id}: second pending handoff for "
-                    f"client {msg.client}"
-                )
+            # Not the anchor yet, or the previous migration has not settled:
+            # hold the request. A previously pending request is necessarily
+            # older (lower epoch) and is superseded by this one.
             st.pending_handoff = msg
             return
-        self._start_out_migration(broker, msg.client, anchor, msg.new_broker)
+        self._start_out_migration(
+            broker, msg.client, anchor, msg.new_broker, msg.epoch
+        )
 
     def _start_out_migration(
-        self, broker: "Broker", client: int, anchor: _Anchor, dest: int
+        self,
+        broker: "Broker",
+        client: int,
+        anchor: _Anchor,
+        dest: int,
+        epoch: int,
     ) -> None:
         if anchor.busy:  # pragma: no cover - callers check
             raise ProtocolError(
@@ -523,7 +563,8 @@ class MHHProtocol(MobilityProtocol):
             broker.id,
             first_hop,
             m.SubMigration(
-                client, anchor.key, anchor.filter, dest, tuple(anchor.pqlist)
+                client, anchor.key, anchor.filter, dest, tuple(anchor.pqlist),
+                epoch,
             ),
         )
         anchor.pqlist = []  # ownership travels with the sub_migration
@@ -538,6 +579,8 @@ class MHHProtocol(MobilityProtocol):
             self._become_anchor(broker, msg, frm)
             return
         st = self._state(broker, msg.client)
+        if msg.epoch > st.epoch:
+            st.epoch = msg.epoch
         if st.transit is not None:
             raise ProtocolError(
                 f"broker {broker.id}: already transit for client {msg.client}"
@@ -567,6 +610,8 @@ class MHHProtocol(MobilityProtocol):
 
     def _become_anchor(self, broker: "Broker", msg: m.SubMigration, frm: int) -> None:
         st = self._state(broker, msg.client)
+        if msg.epoch > st.epoch:
+            st.epoch = msg.epoch
         if st.anchor is not None:
             raise ProtocolError(
                 f"broker {broker.id}: sub_migration arrived at existing "
@@ -949,8 +994,13 @@ class MHHProtocol(MobilityProtocol):
         st = self._state(broker, client)
         if st.pending_handoff is not None:
             msg, st.pending_handoff = st.pending_handoff, None
-            self._start_out_migration(broker, client, anchor, msg.new_broker)
-            return
+            if msg.epoch >= st.epoch:
+                self._start_out_migration(
+                    broker, client, anchor, msg.new_broker, msg.epoch
+                )
+                return
+            # else: a newer connect (or the migration that settled here)
+            # superseded the pending request while it waited — drop it
         if anchor.connected and self._present(broker, client):
             self._start_self_migration(broker, client, anchor)
 
@@ -1069,11 +1119,18 @@ class MHHProtocol(MobilityProtocol):
     # ------------------------------------------------------------------
     def quiescent(self) -> bool:
         for broker in self.system.brokers.values():
-            for st in broker.pstate.values():
+            for client, st in broker.pstate.items():
                 if not isinstance(st, _State):  # pragma: no cover
                     continue
-                if st.transit is not None or st.pending_handoff is not None:
+                if st.transit is not None:
                     return False
+                if st.pending_handoff is not None:
+                    # a request superseded by a newer reconnect is inert
+                    # garbage, not outstanding work (the newest request in
+                    # the chain aims at the client's latest location)
+                    current = self.system.clients[client].connect_epoch
+                    if st.pending_handoff.epoch >= current:
+                        return False
                 if st.pre_anchor is not None:
                     return False
                 if st.anchor is not None and st.anchor.busy:

@@ -148,7 +148,11 @@ class SubUnsubProtocol(MobilityProtocol):
     # life-cycle
     # ------------------------------------------------------------------
     def on_connect(
-        self, broker: "Broker", client: int, last_broker: Optional[int]
+        self,
+        broker: "Broker",
+        client: int,
+        last_broker: Optional[int],
+        epoch: int = 0,
     ) -> None:
         roots = self._roots(broker, client)
         if last_broker is None:
@@ -201,7 +205,15 @@ class SubUnsubProtocol(MobilityProtocol):
     def _reconnect_at_root(
         self, broker: "Broker", client: int, roots: dict[int, _Root]
     ) -> None:
-        """Same-broker reconnect: flush the stored queue, go live."""
+        """Same-broker reconnect: flush the stored queue, go live.
+
+        This (and :meth:`on_disconnect` below) flips ``entry.live`` /
+        ``entry.sink`` in place on the filter-table entry. Deliberately so:
+        the matching engine indexes only the entry's *filter*, and live/sink
+        routing is applied after matching, so in-place flips need no engine
+        resync — unlike filter changes, which must go through the
+        ``FilterTable`` mutators.
+        """
         root = roots[max(roots)]
         if root.handoff is not None:
             # client came back to the new root mid-handoff: the merge will

@@ -43,7 +43,11 @@ class Broker:
         self.sim = system.sim
         self.links = system.links
         self.tree = system.tree
-        self.table = FilterTable(broker_id, system.tree.neighbors(broker_id))
+        self.table = FilterTable(
+            broker_id,
+            system.tree.neighbors(broker_id),
+            engine=system.matching_engine,
+        )
         # queues hosted here, keyed by broker-local queue id
         self.queues: dict[int, "PersistentQueue"] = {}
         # per-client protocol scratchpad (owned by the mobility protocol)
@@ -71,7 +75,9 @@ class Broker:
         elif t is m.UnsubscribeMessage:
             self._handle_unsubscribe(frm, msg)
         elif t is m.ConnectMessage:
-            self.system.protocol.on_connect(self, msg.client, msg.last_broker)
+            self.system.protocol.on_connect(
+                self, msg.client, msg.last_broker, msg.epoch
+            )
         else:
             self.system.protocol.on_control(self, msg, frm)
 
@@ -81,11 +87,17 @@ class Broker:
     def route_event(
         self, event: Notification, from_broker: Optional[int]
     ) -> None:
-        """Reverse path forwarding step for one event at this broker."""
-        for nbr in self.table.match_neighbors(event, exclude=from_broker):
+        """Reverse path forwarding step for one event at this broker.
+
+        One :meth:`FilterTable.match` call resolves the forwarding set and
+        the local recipients together (a single counting pass over every
+        registered filter when the counting engine is active).
+        """
+        nbrs, entries = self.table.match(event, from_broker)
+        for nbr in nbrs:
             self.links.broker_to_broker(self.id, nbr, m.EventMessage(event))
         protocol = self.system.protocol
-        for entry in self.table.match_clients(event, from_broker):
+        for entry in entries:
             protocol.on_event_for_client(self, entry, event, from_broker)
 
     def deliver_to_client(self, client: int, event: Notification) -> None:

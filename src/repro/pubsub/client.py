@@ -52,6 +52,11 @@ class Client:
         self.last_broker: Optional[int] = None
         self.connected = False
         self.ever_connected = False
+        #: monotone counter stamped on every connect; the mobility protocol
+        #: uses it to recognise handoff requests that a later reconnect has
+        #: superseded (the client may abandon a connect before the broker
+        #: even learns of it)
+        self.connect_epoch = 0
         self._pub_seq = 0
         system.links.register_client(client_id, self._on_downlink)
 
@@ -67,11 +72,14 @@ class Client:
         self.connected = True
         self.current_broker = broker_id
         self.ever_connected = True
+        self.connect_epoch += 1
         self.system.metrics.on_client_connect(
             self.id, self.system.sim.now, previous, broker_id
         )
         self.system.links.client_to_broker(
-            self.id, broker_id, m.ConnectMessage(self.id, self.filter, previous)
+            self.id,
+            broker_id,
+            m.ConnectMessage(self.id, self.filter, previous, self.connect_epoch),
         )
 
     def disconnect(self) -> None:

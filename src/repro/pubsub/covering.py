@@ -9,6 +9,13 @@ Figure 6(a) discussion relies on this effect for the sub-unsub baseline.
 Covering here is *conservative*: a True answer is always sound; a False
 answer may be a "don't know" for complex conjunctions. Soundness is all
 routing correctness requires.
+
+Covering prunes the *propagation* path (fewer subscriptions flooded); the
+matching hot path is the complement: whatever survives pruning lands in
+the broker-wide counting engine (:mod:`repro.pubsub.matching`), which
+resolves events against the installed filter set. MHH disables covering by
+default because its hop-by-hop migration surgery needs exact per-key table
+state (see :mod:`repro.pubsub.system`).
 """
 
 from __future__ import annotations

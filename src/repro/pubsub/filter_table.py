@@ -9,13 +9,23 @@ The table therefore has two parts:
 * **broker filters** — per neighbouring broker, the set of subscriptions that
   neighbour advertised to us (keyed by subscription key). An event is
   forwarded to a neighbour iff any of its advertised filters matches
-  (reverse path forwarding). Range filters live in a per-neighbour
-  :class:`~repro.pubsub.interval_index.IntervalIndex` so the per-event
-  forwarding decision is O(log n); general filters fall back to a scan.
+  (reverse path forwarding).
 * **client entries** — local (possibly offline) clients. MHH extends these
   with a *label*: a labelled entry accepts events for the client only when
   they arrive from the labelled neighbour (§4.1 step 2) — the mechanism that
   captures in-transit events into temporary queues during a handoff.
+
+Matching is delegated to a broker-wide
+:class:`~repro.pubsub.matching.CountingMatchingEngine` (the default): every
+broker filter and client entry is registered with the engine as it is
+installed, and :meth:`FilterTable.match` resolves an event against *all* of
+them in a single counting pass, returning matched neighbours and matched
+client entries together. The pre-engine behaviour — per-neighbour
+:class:`~repro.pubsub.interval_index.IntervalIndex` stabbing plus linear
+scans over general filters and client entries — is kept behind
+``engine="scan"`` for differential testing; both paths must agree
+event-for-event (``tests/test_matching_engine.py`` asserts this, including
+the order of matched client entries).
 
 The table also tracks what this broker has **advertised** to each neighbour
 (the mirror of the neighbour's broker-filter set for us). Advertisement
@@ -26,15 +36,20 @@ asserted in tests.
 
 from __future__ import annotations
 
+from itertools import count
 from typing import Hashable, Iterable, Optional
 
 from repro.errors import ProtocolError
 from repro.pubsub.events import Notification
 from repro.pubsub.filters import Filter
 from repro.pubsub.interval_index import IntervalIndex
+from repro.pubsub.matching import CountingMatchingEngine
 from repro.util.ids import QueueId
 
 __all__ = ["ClientEntry", "FilterTable"]
+
+#: valid values for FilterTable(engine=...)
+ENGINE_MODES = ("counting", "scan")
 
 
 class ClientEntry:
@@ -130,10 +145,29 @@ class _PeerFilters:
 
 
 class FilterTable:
-    """The routing state of one broker."""
+    """The routing state of one broker.
 
-    def __init__(self, broker_id: int, neighbors: Iterable[int]) -> None:
+    ``engine`` selects the matching implementation: ``"counting"`` (default)
+    resolves events through one broker-wide
+    :class:`~repro.pubsub.matching.CountingMatchingEngine`; ``"scan"`` keeps
+    the legacy per-neighbour stab + linear-scan path for differential
+    testing. Bookkeeping (keys, advertisement mirror, covering) is identical
+    in both modes.
+    """
+
+    def __init__(
+        self,
+        broker_id: int,
+        neighbors: Iterable[int],
+        engine: str = "counting",
+    ) -> None:
+        if engine not in ENGINE_MODES:
+            raise ProtocolError(
+                f"unknown matching engine {engine!r}; expected one of "
+                f"{ENGINE_MODES}"
+            )
         self.broker_id = broker_id
+        self.engine_mode = engine
         self.neighbors = sorted(neighbors)
         # subs received FROM each neighbour ("that side is interested")
         self._from_nbr: dict[int, _PeerFilters] = {
@@ -147,16 +181,27 @@ class FilterTable:
         # most one entry per broker, but the sub-unsub baseline can briefly
         # root two subscription epochs of one client at the same broker
         self.clients: dict[Hashable, ClientEntry] = {}
+        # broker-wide counting engine, kept in sync by every mutator below
+        # (None in scan mode). Client-entry insertion order is tracked so
+        # engine results replay the scan path's dict-order exactly.
+        self._engine = CountingMatchingEngine() if engine == "counting" else None
+        self._client_seq: dict[Hashable, int] = {}
+        self._next_seq = count()
 
     # ------------------------------------------------------------------
     # broker-filter side
     # ------------------------------------------------------------------
     def add_broker_filter(self, nbr: int, key: Hashable, f: Filter) -> None:
         self._from_nbr[nbr].add(key, f)
+        if self._engine is not None:
+            self._engine.add_group_member(nbr, key, f)
 
     def remove_broker_filter(self, nbr: int, key: Hashable) -> bool:
         """Remove; returns False if the key was absent."""
-        return self._from_nbr[nbr].remove(key)
+        removed = self._from_nbr[nbr].remove(key)
+        if removed and self._engine is not None:
+            self._engine.discard_group_member(nbr, key)
+        return removed
 
     def has_broker_filter(self, nbr: int, key: Hashable) -> bool:
         return key in self._from_nbr[nbr]
@@ -195,7 +240,11 @@ class FilterTable:
     # client entries
     # ------------------------------------------------------------------
     def set_client_entry(self, entry: ClientEntry) -> None:
+        if entry.key not in self._client_seq:
+            self._client_seq[entry.key] = next(self._next_seq)
         self.clients[entry.key] = entry
+        if self._engine is not None:
+            self._engine.add(entry.key, entry.filter)
 
     def entries_for_client(self, client: int) -> list[ClientEntry]:
         return [e for e in self.clients.values() if e.client == client]
@@ -227,21 +276,58 @@ class FilterTable:
 
     def remove_client_entry(self, client: int) -> None:
         entry = self.require_client_entry(client)
-        del self.clients[entry.key]
+        self.remove_entry_by_key(entry.key)
 
     def remove_entry_by_key(self, key: Hashable) -> None:
         if self.clients.pop(key, None) is None:
             raise ProtocolError(
                 f"broker {self.broker_id}: removing absent entry {key!r}"
             )
+        self._client_seq.pop(key, None)
+        if self._engine is not None:
+            self._engine.discard(key)
 
     # ------------------------------------------------------------------
     # matching (the hot path)
     # ------------------------------------------------------------------
+    def match(
+        self, event: Notification, from_broker: Optional[int]
+    ) -> tuple[list[int], list[ClientEntry]]:
+        """Resolve one event in a single pass over the whole table.
+
+        Returns ``(neighbours, client_entries)``: the neighbours (excluding
+        ``from_broker``) to forward the event to, and the matching client
+        entries honouring MHH labels. With the counting engine this is one
+        :meth:`CountingMatchingEngine.match_with_groups` call for
+        everything; in scan mode it composes the two legacy loops.
+        Neighbour order is ascending id, client-entry order is insertion
+        order — identical across modes.
+        """
+        if self._engine is None:
+            return (
+                self.match_neighbors(event, exclude=from_broker),
+                self.match_clients(event, from_broker),
+            )
+        keys, groups = self._engine.match_with_groups(event)
+        entries: list[ClientEntry] = []
+        for key in keys:
+            entry = self.clients[key]
+            if entry.label is not None and entry.label != from_broker:
+                continue
+            entries.append(entry)
+        seq = self._client_seq
+        entries.sort(key=lambda e: seq[e.key])
+        groups.discard(from_broker)
+        return sorted(groups), entries
+
     def match_neighbors(
         self, event: Notification, exclude: Optional[int]
     ) -> list[int]:
         """Neighbours (excluding ``exclude``) with at least one matching filter."""
+        if self._engine is not None:
+            groups = self._engine.match_with_groups(event)[1]
+            groups.discard(exclude)
+            return sorted(groups)
         out = []
         for n in self.neighbors:
             if n == exclude:
@@ -259,6 +345,8 @@ class FilterTable:
         labelled neighbouring broker; locally published events
         (``from_broker is None``) never match labelled entries.
         """
+        if self._engine is not None:
+            return self.match(event, from_broker)[1]
         out = []
         for entry in self.clients.values():
             if entry.label is not None and entry.label != from_broker:

@@ -5,11 +5,17 @@ advertised by neighbour *n* match this event?" — with range filters this is
 an interval *stabbing* query. The subscription-propagation path asks "is this
 new interval contained in an existing one?" — a *containment* query.
 
-Both are answered in O(log n) from the same static structure: intervals
-sorted by ``lo`` with prefix maxima over ``hi`` (top-2 maxima, so containment
-can exclude one key). Mutations mark the structure dirty; it is rebuilt
-lazily on the next query (tables mutate only on subscription changes, which
-are orders of magnitude rarer than event matches).
+The broker-wide counting engine (:mod:`repro.pubsub.matching`) additionally
+asks "*which* intervals contain this point?" — a stabbing *enumeration*
+query.
+
+Boolean stab and containment are answered in O(log n) from one static
+structure: intervals sorted by ``lo`` with prefix maxima over ``hi`` (top-2
+maxima, so containment can exclude one key). Enumeration (:meth:`~IntervalIndex.stab_all`)
+is answered in O(log n + k) from a centred interval tree built on demand.
+Mutations mark both structures dirty; each is rebuilt lazily on its next
+query (tables mutate only on subscription changes, which are orders of
+magnitude rarer than event matches).
 """
 
 from __future__ import annotations
@@ -38,7 +44,9 @@ class IntervalIndex:
     True
     """
 
-    __slots__ = ("_items", "_dirty", "_los", "_max1_hi", "_max1_key", "_max2_hi")
+    __slots__ = (
+        "_items", "_dirty", "_los", "_max1_hi", "_max1_key", "_max2_hi", "_tree"
+    )
 
     def __init__(self) -> None:
         self._items: dict[Hashable, tuple[float, float]] = {}
@@ -47,6 +55,7 @@ class IntervalIndex:
         self._max1_hi: list[float] = []
         self._max1_key: list[Hashable] = []
         self._max2_hi: list[float] = []
+        self._tree: Optional[tuple] = None
 
     # ------------------------------------------------------------------
     # mutation
@@ -55,16 +64,19 @@ class IntervalIndex:
         """Insert or replace interval ``key``."""
         self._items[key] = (lo, hi)
         self._dirty = True
+        self._tree = None
 
     def remove(self, key: Hashable) -> None:
         """Remove interval ``key`` (KeyError if absent)."""
         del self._items[key]
         self._dirty = True
+        self._tree = None
 
     def discard(self, key: Hashable) -> None:
         """Remove interval ``key`` if present."""
         if self._items.pop(key, None) is not None:
             self._dirty = True
+            self._tree = None
 
     def __len__(self) -> int:
         return len(self._items)
@@ -123,3 +135,63 @@ class IntervalIndex:
     def stabbing_keys(self, x: float) -> list[Hashable]:
         """All keys whose interval contains ``x`` (linear scan; cold path)."""
         return [k for k, (lo, hi) in self._items.items() if lo <= x <= hi]
+
+    # ------------------------------------------------------------------
+    # stabbing enumeration (centred interval tree; hot path of the
+    # counting engine)
+    # ------------------------------------------------------------------
+    def stab_all(self, x: float) -> list[Hashable]:
+        """All keys whose interval contains ``x`` in O(log n + k).
+
+        Unordered. NaN stabs nothing (consistent with comparison
+        semantics: ``lo <= nan`` is False).
+        """
+        if x != x:
+            return []
+        if self._tree is None:
+            self._tree = _build_tree(
+                [(lo, hi, k) for k, (lo, hi) in self._items.items()]
+            )
+        out: list[Hashable] = []
+        node = self._tree
+        while node is not None:
+            center, left, right, by_lo, by_hi = node
+            if x < center:
+                for lo, k in by_lo:
+                    if lo > x:
+                        break
+                    out.append(k)
+                node = left
+            elif x > center:
+                for hi, k in by_hi:
+                    if hi < x:
+                        break
+                    out.append(k)
+                node = right
+            else:
+                # x == center: every interval at this node contains x; the
+                # left subtree ends before x and the right starts after it
+                out.extend(k for _, k in by_lo)
+                break
+        return out
+
+
+def _build_tree(items: list[tuple[float, float, Hashable]]) -> Optional[tuple]:
+    """Centred interval tree over ``(lo, hi, key)`` triples.
+
+    The centre is the median endpoint, so each side holds at most half of
+    the endpoints and depth is O(log n) regardless of interval layout.
+    """
+    if not items:
+        return None
+    endpoints = sorted(
+        v for lo, hi, _k in items for v in (lo, hi)
+    )
+    center = endpoints[len(endpoints) // 2]
+    left = [it for it in items if it[1] < center]
+    right = [it for it in items if it[0] > center]
+    mid = [it for it in items if it[0] <= center <= it[1]]
+    # sort on the endpoint only: keys may not be mutually comparable
+    by_lo = sorted(((lo, k) for lo, _hi, k in mid), key=lambda t: t[0])
+    by_hi = sorted(((hi, k) for _lo, hi, k in mid), key=lambda t: t[0], reverse=True)
+    return (center, _build_tree(left), _build_tree(right), by_lo, by_hi)

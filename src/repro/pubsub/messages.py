@@ -122,16 +122,25 @@ class ConnectMessage(Message):
 
     ``last_broker`` is None on the very first attach; on silent-move
     reconnects it names the broker the client last visited (the client is
-    required to remember it — paper §4.2).
+    required to remember it — paper §4.2). ``epoch`` is the client's
+    monotone connect counter; handoff requests it triggers inherit the
+    stamp so stale ones can be recognised.
     """
 
-    __slots__ = ("client", "filter", "last_broker")
+    __slots__ = ("client", "filter", "last_broker", "epoch")
     category = CAT_MOBILITY_CTRL
 
-    def __init__(self, client: int, filter: Optional[Filter], last_broker) -> None:
+    def __init__(
+        self,
+        client: int,
+        filter: Optional[Filter],
+        last_broker,
+        epoch: int = 0,
+    ) -> None:
         self.client = client
         self.filter = filter
         self.last_broker = last_broker
+        self.epoch = epoch
 
 
 class DeliverMessage(Message):
@@ -149,14 +158,22 @@ class DeliverMessage(Message):
 # MHH protocol messages (paper §4)
 # ---------------------------------------------------------------------------
 class HandoffRequest(Message):
-    """New broker -> old broker: begin the handoff (silent move, §4.2)."""
+    """New broker -> old broker: begin the handoff (silent move, §4.2).
 
-    __slots__ = ("client", "new_broker")
+    ``epoch`` is the connect epoch of the reconnect that issued the
+    request. A broker that has witnessed a higher epoch for the client
+    (a newer reconnect or a newer request) drops the request as
+    superseded — the client has moved on and a newer request aims at its
+    latest location.
+    """
+
+    __slots__ = ("client", "new_broker", "epoch")
     category = CAT_MOBILITY_CTRL
 
-    def __init__(self, client: int, new_broker: int) -> None:
+    def __init__(self, client: int, new_broker: int, epoch: int = 0) -> None:
         self.client = client
         self.new_broker = new_broker
+        self.epoch = epoch
 
 
 class SubMigration(Message):
@@ -166,9 +183,11 @@ class SubMigration(Message):
     destination broker, and the client's PQlist metadata (ordered queue
     references — the distributed linked list of §4.3; the vector-of-refs
     representation is an equivalent simplification, see DESIGN.md).
+    ``epoch`` propagates the connect epoch of the handoff request being
+    served, so the new anchor inherits the staleness horizon.
     """
 
-    __slots__ = ("client", "key", "filter", "dest", "pqlist")
+    __slots__ = ("client", "key", "filter", "dest", "pqlist", "epoch")
     category = CAT_MOBILITY_CTRL
 
     def __init__(
@@ -178,12 +197,14 @@ class SubMigration(Message):
         filter: Filter,
         dest: int,
         pqlist: tuple[QueueRef, ...],
+        epoch: int = 0,
     ) -> None:
         self.client = client
         self.key = key
         self.filter = filter
         self.dest = dest
         self.pqlist = pqlist
+        self.epoch = epoch
 
 
 class SubMigrationAck(Message):

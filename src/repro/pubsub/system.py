@@ -67,6 +67,7 @@ class PubSubSystem:
         unicast_routing: str = "grid",
         trace: Optional[Union[str, list[str]]] = None,
         topology: Optional[Topology] = None,
+        matching_engine: str = "counting",
     ) -> None:
         if grid_k <= 0 and topology is None:
             raise ConfigurationError(f"grid_k must be >= 1, got {grid_k}")
@@ -78,6 +79,15 @@ class PubSubSystem:
             raise ConfigurationError(
                 f"unicast_routing must be 'grid' or 'tree', got {unicast_routing!r}"
             )
+        if matching_engine not in ("counting", "scan"):
+            raise ConfigurationError(
+                f"matching_engine must be 'counting' or 'scan', "
+                f"got {matching_engine!r}"
+            )
+        #: broker matching implementation: 'counting' (broker-wide counting
+        #: engine, the default) or 'scan' (legacy per-neighbour scan path,
+        #: kept for differential testing)
+        self.matching_engine = matching_engine
         self.seed = seed
         #: events per queue-migration message (bulk queue transfers)
         self.migration_batch_size = migration_batch_size

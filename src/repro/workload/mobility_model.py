@@ -8,10 +8,19 @@ that satisfy the exponential distribution."
 
 Publishing: every client publishes at exponential intervals (mean five
 minutes) while connected; publishes that would fall into a disconnection
-period are skipped (a detached device cannot publish).
+period are skipped (a detached device cannot publish). Topics are uniform
+floats in ``[0, 1)`` on the primary ``topic`` attribute; subscriptions are
+contiguous topic ranges, so on the broker side each published event is
+resolved by the broker-wide counting engine
+(:mod:`repro.pubsub.matching`) — per-group interval stabs decide which
+neighbours to forward to and the counting pass picks the matching client
+entries, both in one pass per broker hop.
 
 Only silent moves are simulated (paper §5.1); the proclaimed-move API is
-exercised by unit tests and examples instead.
+exercised by unit tests and examples instead. Rapid-fire silent moves are
+legitimate here: reconnects can outrun the handoff control messages of the
+previous move, which is why every connect carries a monotone epoch (see
+:meth:`repro.pubsub.client.Client.connect`).
 """
 
 from __future__ import annotations

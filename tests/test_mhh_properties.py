@@ -6,6 +6,7 @@ headline guarantee: exactly-once, per-publisher-ordered delivery with no
 loss, always ending in a quiescent system.
 """
 
+import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.pubsub.filters import RangeFilter
@@ -92,6 +93,31 @@ def test_property_no_stranded_queues(seed, schedule):
         if q.client == sub.id and len(q) > 0
     ]
     assert leftovers == []
+
+
+# Regression: connect-connect races once stranded the subscription away
+# from a live client (a stale handoff request reached the settled anchor
+# after the client had already come back) or deadlocked pending requests.
+# Connect-epoch stamping (ConnectMessage/HandoffRequest/SubMigration) now
+# supersedes stale requests; these schedules are the minimal falsifying
+# examples hypothesis found before the fix.
+@pytest.mark.parametrize(
+    "schedule",
+    [
+        [("move", 5, 5.0), ("move", 0, 5.0), ("publish", 0, 5.0)],
+        [("move", 5, 5.0), ("move", 0, 5.0), ("move", 1, 5.0)],
+        [("move", 2, 5.0), ("move", 0, 5.0), ("move", 1, 5.0),
+         ("move", 0, 5.0), ("move", 1, 5.0)],
+    ],
+)
+def test_regression_rapid_reconnect_races(schedule):
+    system, _sub = run_schedule(0, schedule)
+    stats = system.metrics.delivery.stats
+    assert system.sim.peek() is None
+    assert system.protocol.quiescent()
+    assert stats.duplicates == 0
+    assert stats.order_violations == 0
+    assert stats.missing == 0, system.metrics.delivery.per_client_missing()
 
 
 @settings(
