@@ -1,0 +1,144 @@
+"""Emit a machine-readable perf-trajectory snapshot (``BENCH_core.json``).
+
+CI runs this after the benchmark smoke job and uploads the JSON as an
+artifact, so every PR leaves a wall-time data point behind and perf
+regressions in the three core hot paths are visible as a trajectory across
+PRs rather than anecdotes:
+
+* **scheduler** — lane vs heap engine throughput on at-scale link traffic
+  (:mod:`benchmarks.bench_sim_engine`);
+* **matching** — counting vs scan engine throughput at 2k filters/broker
+  (:mod:`benchmarks.bench_matching_engine`);
+* **fig5a** — the full Figure 5 sweep wall time at the chosen scale (the
+  end-to-end number everything else serves).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf_trajectory.py --out BENCH_core.json
+    MHH_BENCH_SCALE=small PYTHONPATH=src python -m benchmarks.perf_trajectory
+
+Timings are best-of-N wall clock (N=3 for the microbenches, 1 for the
+sweep — sweeps are deterministic per seed). Absolute numbers vary across
+machines; ratios (lanes/heap, counting/scan) are the stable signal.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+# support both `python benchmarks/perf_trajectory.py` and -m invocation
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+from benchmarks.bench_matching_engine import (  # noqa: E402
+    N_FILTERS,
+    build_table,
+    make_events,
+    run_matches,
+)
+from benchmarks.bench_sim_engine import measure_link_throughput  # noqa: E402
+from repro.experiments.config import bench_scale  # noqa: E402
+from repro.experiments.figures import run_fig5  # noqa: E402
+
+SCHEMA_VERSION = 1
+
+
+def _best_of(n: int, fn, *args) -> float:
+    best = float("inf")
+    for _ in range(n):
+        t0 = time.perf_counter()
+        fn(*args)
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _git_commit() -> str:
+    try:
+        return subprocess.check_output(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=Path(__file__).resolve().parent.parent,
+            text=True,
+            stderr=subprocess.DEVNULL,
+        ).strip()
+    except Exception:  # pragma: no cover - git absent in some envs
+        return "unknown"
+
+
+def collect(scale: str) -> dict:
+    """Run the three core measurements and return the snapshot dict."""
+    metrics: dict[str, float] = {}
+
+    # scheduler: at-scale link traffic, both engines (same measurement
+    # protocol as the CI acceptance gate — one source of truth)
+    link = measure_link_throughput()
+    metrics["scheduler_in_flight"] = link["in_flight"]
+    metrics["scheduler_lanes_events_per_s"] = link["lanes_events_per_s"]
+    metrics["scheduler_heap_events_per_s"] = link["heap_events_per_s"]
+    metrics["scheduler_lanes_speedup"] = link["speedup"]
+
+    # matching: range workload at 2k filters/broker, both engines
+    events = make_events("range", 500)
+    counting = build_table("counting", "range")
+    scan = build_table("scan", "range")
+    run_matches(counting, events[:10])  # build lazy indexes outside timing
+    run_matches(scan, events[:10])
+    t_counting = _best_of(3, run_matches, counting, events)
+    t_scan = _best_of(3, run_matches, scan, events)
+    metrics["matching_counting_events_per_s"] = len(events) / t_counting
+    metrics["matching_scan_events_per_s"] = len(events) / t_scan
+    metrics["matching_counting_speedup"] = t_scan / t_counting
+    metrics["matching_n_filters"] = float(N_FILTERS)
+
+    # end to end: the Figure 5 sweep at the requested scale
+    t0 = time.perf_counter()
+    rows = run_fig5(scale=scale, seed=1)
+    metrics["fig5a_wall_s"] = time.perf_counter() - t0
+    metrics["fig5a_runs"] = float(len(rows))
+    metrics["fig5a_sim_events"] = float(sum(r.sim_events for r in rows))
+    metrics["fig5a_sim_events_per_s"] = (
+        metrics["fig5a_sim_events"] / metrics["fig5a_wall_s"]
+    )
+
+    return {
+        "schema": SCHEMA_VERSION,
+        "commit": _git_commit(),
+        "scale": scale,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "metrics": metrics,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Collect the perf-trajectory snapshot (BENCH_core.json)."
+    )
+    parser.add_argument("--out", default="BENCH_core.json",
+                        help="output path (default: BENCH_core.json)")
+    args = parser.parse_args(argv)
+
+    scale = bench_scale()
+    snapshot = collect(scale)
+    Path(args.out).write_text(json.dumps(snapshot, indent=2, sort_keys=True))
+
+    m = snapshot["metrics"]
+    print(f"perf trajectory [{scale}] -> {args.out}")
+    print(f"  scheduler  lanes {m['scheduler_lanes_events_per_s'] / 1e6:.2f}M ev/s"
+          f"  heap {m['scheduler_heap_events_per_s'] / 1e6:.2f}M ev/s"
+          f"  ({m['scheduler_lanes_speedup']:.2f}x)")
+    print(f"  matching   counting {m['matching_counting_events_per_s'] / 1e3:.1f}k ev/s"
+          f"  scan {m['matching_scan_events_per_s'] / 1e3:.1f}k ev/s"
+          f"  ({m['matching_counting_speedup']:.1f}x)")
+    print(f"  fig5 sweep {m['fig5a_wall_s']:.2f}s wall,"
+          f" {m['fig5a_sim_events']:.0f} sim events"
+          f" ({m['fig5a_sim_events_per_s'] / 1e3:.0f}k ev/s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -37,6 +37,9 @@ class ExperimentConfig:
     covering_enabled: Optional[bool] = None
     #: hard wall on the drain phase in simulated ms (None = unbounded)
     drain_limit_ms: Optional[float] = None
+    #: scheduler implementation: 'lanes' (default) or 'heap' (legacy,
+    #: kept for differential testing — see repro.sim.core)
+    sim_engine: str = "lanes"
 
     def with_workload(self, **changes: Any) -> "ExperimentConfig":
         return replace(self, workload=replace(self.workload, **changes))

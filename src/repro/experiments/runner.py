@@ -36,6 +36,7 @@ def build_system(cfg: ExperimentConfig) -> tuple[PubSubSystem, Workload]:
         seed=cfg.seed,
         covering_enabled=cfg.covering_enabled,
         migration_batch_size=cfg.migration_batch_size,
+        sim_engine=cfg.sim_engine,
     )
     workload = Workload(system, cfg.workload)
     return system, workload
@@ -58,7 +59,7 @@ def run_experiment(cfg: ExperimentConfig) -> ResultRow:
     median_delay = system.metrics.handoffs.median_delay()
     # handoffs whose first delivery has not happened yet must not have their
     # delay filled in by drain-phase deliveries
-    system.metrics.handoffs._open.clear()
+    system.metrics.handoffs.discard_open()
 
     _drain(system, workload, cfg.drain_limit_ms)
 

@@ -71,6 +71,16 @@ class HandoffLog:
         if rec is not None:
             rec.first_delivery_time = time
 
+    def discard_open(self) -> int:
+        """Close the measurement window: forget handoffs still awaiting
+        their first delivery, so later (e.g. drain-phase) deliveries cannot
+        retroactively fill in delay samples. Returns how many were dropped
+        (their records stay in :attr:`records` with ``delay is None``).
+        """
+        n = len(self._open)
+        self._open.clear()
+        return n
+
     # ------------------------------------------------------------------
     @property
     def handoff_count(self) -> int:

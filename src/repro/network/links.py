@@ -20,6 +20,14 @@ Models the paper's Section 5.1 network:
   and the triangle inequality holds on the grid, this shortcut preserves all
   arrival-order relations that true store-and-forward would produce (proof
   sketch in DESIGN.md; property-tested in tests/test_links.py).
+
+Every transmission here carries a *constant* delay (per link direction /
+hop count) and is never cancelled once on the wire — exactly the contract
+of :meth:`repro.sim.core.Simulator.schedule_fifo` — so the whole link layer
+rides the scheduler's O(1) lane fast path: one lane for wired hops, one per
+wireless latency, one per unicast hop count. The scheduler's merged
+``(time, seq)`` order keeps the FIFO guarantees stated above bit-for-bit
+identical to the heap engine.
 """
 
 from __future__ import annotations
@@ -72,9 +80,11 @@ class _WirelessChannel:
             self.queue.append(msg)
 
     def _start(self, msg: Any) -> None:
+        # the in-service message always completes (cancel_pending reclaims
+        # only the queue), so the non-cancellable lane path applies
         self._in_service = msg
         self.busy_until = self.sim.now + self.latency
-        self.sim.schedule(self.latency, self._finish, msg)
+        self.sim.schedule_fifo(self.latency, self._finish, msg)
 
     def _finish(self, msg: Any) -> None:
         self._in_service = None
@@ -151,7 +161,7 @@ class LinkLayer:
         if not self.topo.has_edge(frm, to):
             raise RoutingError(f"brokers {frm} and {to} are not adjacent")
         self.account(msg.category, 1, False)
-        self.sim.schedule(self.wired_latency, self._deliver_broker, to, msg, frm)
+        self.sim.schedule_fifo(self.wired_latency, self._deliver_broker, to, msg, frm)
 
     def unicast(self, frm: int, to: int, msg: Any) -> None:
         """Multi-hop unicast over the grid shortest path.
@@ -163,7 +173,7 @@ class LinkLayer:
         hops = self._unicast_hops(frm, to) if frm != to else 0
         if hops:
             self.account(msg.category, hops, False)
-        self.sim.schedule(
+        self.sim.schedule_fifo(
             hops * self.wired_latency, self._deliver_broker, to, msg, frm
         )
 

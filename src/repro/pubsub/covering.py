@@ -53,21 +53,25 @@ def reduce_by_covering(
     >>> sorted(kept)
     [1]
     """
-    items = sorted(filters.items(), key=lambda kv: repr(kv[0]))
+    # repr(key) is the tie-break ordering; compute it once per item instead
+    # of once per O(n^2) comparison
+    items = sorted(
+        ((repr(key), key, f) for key, f in filters.items()),
+        key=lambda item: item[0],
+    )
     kept: dict[Hashable, Filter] = {}
-    for key, f in items:
+    for rk, key, f in items:
         covered = False
-        for other_key, other in items:
+        for other_rk, other_key, other in items:
             if other_key == key:
                 continue
             if not other.covers(f):
                 continue
-            if f.covers(other):
-                # mutual covering (equal extents): smaller repr-key survives
-                if repr(other_key) < repr(key):
-                    covered = True
-                    break
-            else:
+            # mutual covering (equal extents): smaller repr-key survives.
+            # When the coverer sorts earlier it wins either way (strictly
+            # covering, or mutual with the smaller key), so the reverse
+            # f.covers(other) check is only needed for later-sorting items.
+            if other_rk < rk or not f.covers(other):
                 covered = True
                 break
         if not covered:

@@ -21,6 +21,7 @@ magnitude rarer than event matches).
 from __future__ import annotations
 
 from bisect import bisect_right
+from operator import itemgetter
 from typing import Hashable, Iterator, Optional
 
 __all__ = ["IntervalIndex"]
@@ -94,7 +95,10 @@ class IntervalIndex:
     # queries
     # ------------------------------------------------------------------
     def _rebuild(self) -> None:
-        order = sorted(self._items.items(), key=lambda kv: (kv[1][0], kv[1][1]))
+        # key is the (lo, hi) pair itself; a C-level itemgetter avoids a
+        # python-level lambda per item (mobility churn marks this index
+        # dirty on every handoff, so rebuilds are the fig-5a hot spot)
+        order = sorted(self._items.items(), key=itemgetter(1))
         n = len(order)
         self._los = [lo for _k, (lo, _hi) in order]
         self._max1_hi = [0.0] * n
@@ -192,6 +196,7 @@ def _build_tree(items: list[tuple[float, float, Hashable]]) -> Optional[tuple]:
     right = [it for it in items if it[0] > center]
     mid = [it for it in items if it[0] <= center <= it[1]]
     # sort on the endpoint only: keys may not be mutually comparable
-    by_lo = sorted(((lo, k) for lo, _hi, k in mid), key=lambda t: t[0])
-    by_hi = sorted(((hi, k) for _lo, hi, k in mid), key=lambda t: t[0], reverse=True)
+    first = itemgetter(0)
+    by_lo = sorted(((lo, k) for lo, _hi, k in mid), key=first)
+    by_hi = sorted(((hi, k) for _lo, hi, k in mid), key=first, reverse=True)
     return (center, _build_tree(left), _build_tree(right), by_lo, by_hi)

@@ -30,7 +30,7 @@ from repro.network.topology import Topology, grid_topology
 from repro.pubsub.broker import Broker
 from repro.pubsub.client import Client
 from repro.pubsub.filters import Filter
-from repro.sim.core import Simulator
+from repro.sim.core import SIM_ENGINES, Simulator
 from repro.sim.rng import RandomStreams
 from repro.sim.trace import Tracer
 from repro.util.ids import IdAllocator
@@ -68,6 +68,7 @@ class PubSubSystem:
         trace: Optional[Union[str, list[str]]] = None,
         topology: Optional[Topology] = None,
         matching_engine: str = "counting",
+        sim_engine: str = "lanes",
     ) -> None:
         if grid_k <= 0 and topology is None:
             raise ConfigurationError(f"grid_k must be >= 1, got {grid_k}")
@@ -84,10 +85,18 @@ class PubSubSystem:
                 f"matching_engine must be 'counting' or 'scan', "
                 f"got {matching_engine!r}"
             )
+        if sim_engine not in SIM_ENGINES:
+            raise ConfigurationError(
+                f"sim_engine must be one of {SIM_ENGINES}, got {sim_engine!r}"
+            )
         #: broker matching implementation: 'counting' (broker-wide counting
         #: engine, the default) or 'scan' (legacy per-neighbour scan path,
         #: kept for differential testing)
         self.matching_engine = matching_engine
+        #: scheduler implementation: 'lanes' (per-delay FIFO lanes + heap,
+        #: the default) or 'heap' (legacy heap-only engine, kept for
+        #: differential testing)
+        self.sim_engine = sim_engine
         self.seed = seed
         #: events per queue-migration message (bulk queue transfers)
         self.migration_batch_size = migration_batch_size
@@ -102,7 +111,7 @@ class PubSubSystem:
                 f"stream_pacing_ms must be >= 0, got {stream_pacing_ms}"
             )
         self.stream_pacing_ms = stream_pacing_ms
-        self.sim = Simulator()
+        self.sim = Simulator(engine=sim_engine)
         self.streams = RandomStreams(seed)
         self.ids = IdAllocator()
         self.metrics = MetricsHub()

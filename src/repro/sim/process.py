@@ -8,6 +8,14 @@ milliseconds to sleep; the driver reschedules itself on each yield.
 
 A generator may also yield ``0`` to defer to other events at the current
 instant (everything already scheduled for "now" runs first).
+
+Processes ride the scheduler's *heap* path (:meth:`Simulator.schedule`), not
+the constant-delay FIFO lanes: wakeup delays are irregular (exponential
+draws, model-dependent pauses) and :meth:`Process.interrupt` needs the
+cancellable :class:`EventHandle`. Process wakeups are a vanishing fraction
+of event volume — the lanes exist for the link layer underneath
+(:mod:`repro.network.links`), which is where the millions of constant-delay
+events come from.
 """
 
 from __future__ import annotations

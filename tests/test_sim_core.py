@@ -160,6 +160,52 @@ def test_run_not_reentrant():
     assert len(errors) == 1
 
 
+def test_schedule_fifo_counts_and_introspects():
+    sim = Simulator()
+    fired = []
+    sim.schedule_fifo(2.0, fired.append, "a")
+    sim.schedule_fifo(2.0, fired.append, "b")
+    sim.schedule_fifo(5.0, fired.append, "c")
+    assert sim.pending == 3
+    sim.run()
+    assert fired == ["a", "b", "c"]
+    assert sim.events_processed == 3
+    assert sim.pending == 0
+
+
+def test_schedule_fifo_on_heap_engine_is_equivalent():
+    sim = Simulator(engine="heap")
+    fired = []
+    sim.schedule_fifo(10.0, fired.append, "lane-style")
+    sim.schedule(5.0, fired.append, "timer")
+    sim.run()
+    assert fired == ["timer", "lane-style"]
+    assert sim.engine == "heap"
+
+
+def test_peek_with_lane_ahead_of_cancelled_heap_event():
+    sim = Simulator()
+    h = sim.schedule(1.0, lambda: None)
+    sim.schedule_fifo(3.0, lambda: None)
+    h.cancel()
+    assert sim.peek() == 3.0
+
+
+def test_callback_exception_from_lane_keeps_engine_consistent():
+    sim = Simulator()
+    fired = []
+
+    def boom():
+        raise ValueError("boom")
+
+    sim.schedule_fifo(1.0, boom)
+    sim.schedule_fifo(1.0, fired.append, "next")
+    with pytest.raises(ValueError):
+        sim.run()
+    sim.run()
+    assert fired == ["next"]
+
+
 def test_events_scheduled_during_run_are_processed():
     sim = Simulator()
     fired = []
