@@ -1,0 +1,250 @@
+"""Microbenchmark: control-plane churn — the cost of *changing* routing state.
+
+Mobility protocols edit filter tables on every handoff, so at short
+connection periods (the left edge of Figure 5a) the simulator's wall time
+is dominated by routing-state *mutation*, not event matching. Three
+measurements track that cost:
+
+* **interval churn** — subscribe/unsubscribe churn against one
+  :class:`~repro.pubsub.interval_index.IntervalIndex` at 2 000 installed
+  filters: each op removes a filter, installs a replacement, and runs the
+  stab + containment queries a propagation step performs. The incremental
+  index (bisect insert/delete + local prefix-maxima repair) is compared
+  against the legacy rebuild-per-mutation path
+  (``IntervalIndex(incremental=False)``); ``test_incremental_beats_rebuild_churn``
+  is the CI acceptance gate (≥5x).
+* **withdraw-with-covering** — a real broker network (sub-unsub baseline,
+  covering-pruned propagation) with 2 000 subscriptions rooted at one
+  broker, churned by unsubscribe/resubscribe cycles whose floods the
+  neighbours process too. Indexed covering (``covering_index=True``:
+  CoveringIndex-backed ``advertised_covers`` + covered-candidate
+  enumeration in ``Broker._withdraw``) against the legacy full-table scans.
+  Both runs must leave byte-identical routing state (asserted).
+* **fig5a conn=1s** — wall time of the churn-heaviest Figure 5 sweep point,
+  the end-to-end number the two micro-measurements serve.
+
+``benchmarks/perf_trajectory.py`` records all three into BENCH_core.json
+(``control_plane_*`` keys) so the trajectory across PRs stays visible.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+from repro.experiments.config import bench_scale
+from repro.experiments.figures import run_fig5
+from repro.pubsub.filters import RangeFilter
+from repro.pubsub.interval_index import IntervalIndex
+from repro.pubsub.system import PubSubSystem
+
+N_FILTERS = 2_000
+N_CHURN_OPS = 2_000
+#: withdraw bench: unsubscribe/resubscribe cycles driven through the broker
+N_WITHDRAW_OPS = 150
+
+
+# ---------------------------------------------------------------------------
+# interval-index churn (the per-structure cost)
+# ---------------------------------------------------------------------------
+def build_index(incremental: bool, n: int = N_FILTERS) -> IntervalIndex:
+    rnd = random.Random(7)
+    idx = IntervalIndex(incremental=incremental)
+    for i in range(n):
+        lo = rnd.uniform(0.0, 0.999)
+        idx.add(i, lo, lo + 2.0 / n)
+    idx.stab(0.5)  # build the sorted arrays outside the timed window
+    return idx
+
+
+def churn_index(idx: IntervalIndex, ops: int = N_CHURN_OPS, n: int = N_FILTERS) -> int:
+    """One handoff-shaped op: drop a filter, install a replacement, query."""
+    rnd = random.Random(13)
+    hits = 0
+    for j in range(ops):
+        key = j % n
+        idx.discard(key)
+        lo = rnd.uniform(0.0, 0.999)
+        idx.add(key, lo, lo + 2.0 / n)
+        if idx.stab(rnd.random()):
+            hits += 1
+        idx.contains_interval(lo, lo + 1.0 / n)
+    return hits
+
+
+def _best_of(n: int, fn, *args) -> float:
+    best = float("inf")
+    for _ in range(n):
+        t0 = time.perf_counter()
+        fn(*args)
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def measure_interval_churn(
+    ops: int = N_CHURN_OPS, repeats: int = 3
+) -> dict[str, float]:
+    """Best-of-``repeats`` churn timing for both index modes.
+
+    Single source of truth for the CI acceptance gate and the
+    BENCH_core.json ``control_plane_*`` churn keys.
+    """
+    # same churn stream on both modes; results must agree (sanity)
+    incr = build_index(True)
+    rebuild = build_index(False)
+    assert churn_index(incr, 50) == churn_index(rebuild, 50)
+    t_incr = _best_of(repeats, churn_index, build_index(True), ops)
+    t_rebuild = _best_of(repeats, churn_index, build_index(False), ops)
+    return {
+        "ops": float(ops),
+        "n_filters": float(N_FILTERS),
+        "incremental_s": t_incr,
+        "rebuild_s": t_rebuild,
+        "incremental_ops_per_s": ops / t_incr,
+        "rebuild_ops_per_s": ops / t_rebuild,
+        "speedup": t_rebuild / t_incr,
+    }
+
+
+# ---------------------------------------------------------------------------
+# withdraw-with-covering (the broker-level cost)
+# ---------------------------------------------------------------------------
+def build_covering_system(covering_index: bool, n: int = N_FILTERS):
+    """A broker network with ``n`` covering-pruned subscriptions rooted at
+    the centre broker, flood fully propagated."""
+    system = PubSubSystem(
+        grid_k=3,
+        protocol="sub-unsub",
+        seed=5,
+        covering_enabled=True,
+        covering_index=covering_index,
+    )
+    broker = system.brokers[4]
+    rnd = random.Random(11)
+    for i in range(n):
+        lo = rnd.uniform(0.0, 0.999)
+        broker.local_subscribe(
+            10_000 + i, ("s", i), RangeFilter(lo, lo + 2.0 / n),
+            "sub", live=True,
+        )
+    system.sim.run()
+    return system, broker
+
+
+def churn_withdrawals(system, broker, ops: int = N_WITHDRAW_OPS,
+                      n: int = N_FILTERS) -> None:
+    """Unsubscribe/resubscribe cycles: every op withdraws one subscription
+    (covering re-advertisement search at this broker and every broker the
+    flood reaches) and installs a replacement."""
+    rnd = random.Random(17)
+    for j in range(ops):
+        i = j % n
+        broker.local_unsubscribe_key(("s", i), "unsub")
+        lo = rnd.uniform(0.0, 0.999)
+        broker.local_subscribe(
+            10_000 + i, ("s", i), RangeFilter(lo, lo + 2.0 / n),
+            "sub", live=True,
+        )
+        system.sim.run()
+
+
+def measure_withdraw_covering(ops: int = N_WITHDRAW_OPS) -> dict[str, float]:
+    """Withdraw churn wall time, indexed covering vs legacy scans.
+
+    Both systems process the identical message stream; their final routing
+    state must match entry-for-entry (asserted — the indexed path may only
+    be faster, never different).
+    """
+    timings: dict[bool, float] = {}
+    states = {}
+    for covering_index in (True, False):
+        system, broker = build_covering_system(covering_index)
+        t0 = time.perf_counter()
+        churn_withdrawals(system, broker, ops)
+        timings[covering_index] = time.perf_counter() - t0
+        states[covering_index] = {
+            bid: (
+                b.table.snapshot_broker_filters(),
+                b.table.snapshot_advertised(),
+            )
+            for bid, b in system.brokers.items()
+        }
+    assert states[True] == states[False], (
+        "indexed covering diverged from the legacy scan path"
+    )
+    return {
+        "ops": float(ops),
+        "n_filters": float(N_FILTERS),
+        "indexed_s": timings[True],
+        "legacy_s": timings[False],
+        "indexed_ops_per_s": ops / timings[True],
+        "legacy_ops_per_s": ops / timings[False],
+        "speedup": timings[False] / timings[True],
+    }
+
+
+# ---------------------------------------------------------------------------
+# end to end: the churn-heaviest figure point
+# ---------------------------------------------------------------------------
+def measure_fig5a_conn1(scale: str | None = None) -> dict[str, float]:
+    """Wall time of the Figure 5 sweep's conn=1s point (max handoff churn)."""
+    t0 = time.perf_counter()
+    rows = run_fig5(scale=scale or bench_scale(), conn_periods_s=(1.0,), seed=1)
+    wall = time.perf_counter() - t0
+    return {
+        "wall_s": wall,
+        "runs": float(len(rows)),
+        "sim_events": float(sum(r.sim_events for r in rows)),
+    }
+
+
+# ---------------------------------------------------------------------------
+# tracked benchmarks
+# ---------------------------------------------------------------------------
+def test_bench_interval_churn_incremental(benchmark):
+    idx = build_index(True)
+    hits = benchmark(churn_index, idx)
+    benchmark.extra_info["hits"] = hits
+
+
+def test_bench_interval_churn_rebuild(benchmark):
+    idx = build_index(False)
+    hits = benchmark(churn_index, idx)
+    benchmark.extra_info["hits"] = hits
+
+
+def test_bench_withdraw_covering_indexed(benchmark):
+    system, broker = build_covering_system(True)
+    benchmark.pedantic(
+        churn_withdrawals, args=(system, broker, 50),
+        rounds=1, iterations=1, warmup_rounds=0,
+    )
+
+
+def test_bench_fig5a_conn1(benchmark):
+    m = benchmark.pedantic(
+        measure_fig5a_conn1, rounds=1, iterations=1, warmup_rounds=0
+    )
+    benchmark.extra_info["sim_events"] = m["sim_events"]
+
+
+# ---------------------------------------------------------------------------
+# acceptance comparisons
+# ---------------------------------------------------------------------------
+def test_incremental_beats_rebuild_churn():
+    """Acceptance: ≥5x subscribe/unsubscribe churn throughput at 2k filters."""
+    m = measure_interval_churn()
+    assert m["speedup"] >= 5.0, (
+        f"incremental {m['incremental_ops_per_s']:,.0f} ops/s vs rebuild "
+        f"{m['rebuild_ops_per_s']:,.0f} ops/s — only {m['speedup']:.1f}x "
+        f"at {N_FILTERS} filters"
+    )
+
+
+def test_indexed_covering_beats_scan_withdraw():
+    """Acceptance: indexed covering wins the withdraw churn (and agrees)."""
+    m = measure_withdraw_covering()
+    assert m["speedup"] >= 1.5, (
+        f"indexed {m['indexed_ops_per_s']:.1f} ops/s vs legacy "
+        f"{m['legacy_ops_per_s']:.1f} ops/s — only {m['speedup']:.2f}x"
+    )

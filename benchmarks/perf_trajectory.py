@@ -9,6 +9,10 @@ PRs rather than anecdotes:
   (:mod:`benchmarks.bench_sim_engine`);
 * **matching** — counting vs scan engine throughput at 2k filters/broker
   (:mod:`benchmarks.bench_matching_engine`);
+* **control plane** — routing-state churn: incremental vs rebuild interval
+  index at 2k filters, indexed vs scan covering withdrawals, and the
+  churn-heaviest fig5a point (conn=1s)
+  (:mod:`benchmarks.bench_control_plane`);
 * **fig5a** — the full Figure 5 sweep wall time at the chosen scale (the
   end-to-end number everything else serves).
 
@@ -35,6 +39,10 @@ from pathlib import Path
 # support both `python benchmarks/perf_trajectory.py` and -m invocation
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
 
+from benchmarks.bench_control_plane import (  # noqa: E402
+    measure_interval_churn,
+    measure_withdraw_covering,
+)
 from benchmarks.bench_matching_engine import (  # noqa: E402
     N_FILTERS,
     build_table,
@@ -94,6 +102,18 @@ def collect(scale: str) -> dict:
     metrics["matching_counting_speedup"] = t_scan / t_counting
     metrics["matching_n_filters"] = float(N_FILTERS)
 
+    # control plane: routing-state churn (same measurement protocols as the
+    # bench_control_plane CI gates — one source of truth)
+    churn = measure_interval_churn()
+    metrics["control_plane_incremental_ops_per_s"] = churn["incremental_ops_per_s"]
+    metrics["control_plane_rebuild_ops_per_s"] = churn["rebuild_ops_per_s"]
+    metrics["control_plane_churn_speedup"] = churn["speedup"]
+    metrics["control_plane_n_filters"] = churn["n_filters"]
+    withdraw = measure_withdraw_covering()
+    metrics["control_plane_withdraw_indexed_ops_per_s"] = withdraw["indexed_ops_per_s"]
+    metrics["control_plane_withdraw_legacy_ops_per_s"] = withdraw["legacy_ops_per_s"]
+    metrics["control_plane_withdraw_speedup"] = withdraw["speedup"]
+
     # end to end: the Figure 5 sweep at the requested scale
     t0 = time.perf_counter()
     rows = run_fig5(scale=scale, seed=1)
@@ -102,6 +122,15 @@ def collect(scale: str) -> dict:
     metrics["fig5a_sim_events"] = float(sum(r.sim_events for r in rows))
     metrics["fig5a_sim_events_per_s"] = (
         metrics["fig5a_sim_events"] / metrics["fig5a_wall_s"]
+    )
+    # the churn-heaviest point (conn=1s), carved out of the same sweep's
+    # per-run timings — no second simulation of the most expensive point
+    conn1 = [r for r in rows if r.params.get("conn_s") == 1.0]
+    metrics["control_plane_fig5a_conn1_wall_s"] = sum(
+        r.wall_seconds for r in conn1
+    )
+    metrics["control_plane_fig5a_conn1_sim_events"] = float(
+        sum(r.sim_events for r in conn1)
     )
 
     return {
@@ -134,6 +163,11 @@ def main(argv: list[str] | None = None) -> int:
     print(f"  matching   counting {m['matching_counting_events_per_s'] / 1e3:.1f}k ev/s"
           f"  scan {m['matching_scan_events_per_s'] / 1e3:.1f}k ev/s"
           f"  ({m['matching_counting_speedup']:.1f}x)")
+    print(f"  ctrl plane churn {m['control_plane_incremental_ops_per_s'] / 1e3:.1f}k ops/s"
+          f" ({m['control_plane_churn_speedup']:.0f}x vs rebuild),"
+          f" withdraw {m['control_plane_withdraw_indexed_ops_per_s']:.0f} ops/s"
+          f" ({m['control_plane_withdraw_speedup']:.1f}x vs scan),"
+          f" fig5a conn=1s {m['control_plane_fig5a_conn1_wall_s']:.2f}s")
     print(f"  fig5 sweep {m['fig5a_wall_s']:.2f}s wall,"
           f" {m['fig5a_sim_events']:.0f} sim events"
           f" ({m['fig5a_sim_events_per_s'] / 1e3:.0f}k ev/s)")

@@ -37,6 +37,9 @@ def main(argv: Sequence[str] | None = None) -> int:
     parser.add_argument("--scale", default="small",
                         choices=["smoke", "small", "paper"])
     parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--workers", type=int, default=None, metavar="N",
+                        help="fan the sweep's independent runs out over N "
+                             "processes (default: serial)")
     parser.add_argument("--raw", action="store_true",
                         help="also print the full per-run result table")
     args = parser.parse_args(argv)
@@ -51,7 +54,9 @@ def main(argv: Sequence[str] | None = None) -> int:
 
     out: list[str] = []
     if want & _FIG5:
-        rows5 = figures.run_fig5(scale=args.scale, seed=args.seed)
+        rows5 = figures.run_fig5(
+            scale=args.scale, seed=args.seed, workers=args.workers
+        )
         if "fig5a" in want:
             out.append(report.format_series(
                 figures.fig5a(rows5), "conn_period_s", "msg overhead / handoff",
@@ -65,7 +70,9 @@ def main(argv: Sequence[str] | None = None) -> int:
         if args.raw:
             out.append(report.format_table(rows5, title="Figure 5 raw runs"))
     if want & _FIG6:
-        rows6 = figures.run_fig6(scale=args.scale, seed=args.seed)
+        rows6 = figures.run_fig6(
+            scale=args.scale, seed=args.seed, workers=args.workers
+        )
         if "fig6a" in want:
             out.append(report.format_series(
                 figures.fig6a(rows6), "base_stations", "msg overhead / handoff",

@@ -40,6 +40,10 @@ class ExperimentConfig:
     #: scheduler implementation: 'lanes' (default) or 'heap' (legacy,
     #: kept for differential testing — see repro.sim.core)
     sim_engine: str = "lanes"
+    #: indexed covering control plane (default) vs the legacy scan-based
+    #: covering checks (kept for differential testing — see
+    #: repro.pubsub.filter_table)
+    covering_index: bool = True
 
     def with_workload(self, **changes: Any) -> "ExperimentConfig":
         return replace(self, workload=replace(self.workload, **changes))

@@ -13,10 +13,18 @@ curve differences are protocol effects, not sampling noise.
 Measurement windows adapt to the sweep point: at least ~1.2 mobility cycles
 (so every mobile client hands off at least about once) and at least the
 scale preset's base duration.
+
+Sweeps are embarrassingly parallel — every (protocol, sweep-point) run is
+an independent deterministic simulation — so both drivers accept
+``workers=N`` to fan the runs out over a multiprocessing pool
+(``ExperimentConfig`` and ``ResultRow`` both pickle). Results come back in
+the same deterministic order as the serial loop, so downstream series
+assembly and seeds are unaffected.
 """
 
 from __future__ import annotations
 
+import multiprocessing
 from typing import Optional, Sequence
 
 from repro.experiments.config import SCALES, ExperimentConfig
@@ -49,30 +57,44 @@ def _duration_s(base_s: float, conn_s: float, disc_s: float) -> float:
     return max(base_s, 1.2 * (conn_s + disc_s))
 
 
+def _run_configs(
+    cfgs: Sequence[ExperimentConfig], workers: Optional[int]
+) -> list[ResultRow]:
+    """Run every config, serially or over a worker pool.
+
+    ``pool.map`` preserves input order, so the returned rows line up with
+    the serial loop exactly regardless of which worker finished first.
+    """
+    if workers is not None and workers > 1 and len(cfgs) > 1:
+        with multiprocessing.Pool(processes=min(workers, len(cfgs))) as pool:
+            return pool.map(run_experiment, cfgs)
+    return [run_experiment(cfg) for cfg in cfgs]
+
+
 def _sweep_conn(
     scale: str,
     protocols: Sequence[str],
     conn_periods_s: Sequence[float],
     seed: int,
+    workers: Optional[int] = None,
 ) -> list[ResultRow]:
     preset = SCALES[scale]
-    rows: list[ResultRow] = []
-    for conn_s in conn_periods_s:
-        for protocol in protocols:
-            spec = WorkloadSpec(
+    cfgs = [
+        ExperimentConfig(
+            protocol=protocol,
+            grid_k=preset["grid_k"],
+            seed=seed,
+            workload=WorkloadSpec(
                 clients_per_broker=preset["clients_per_broker"],
                 mean_connected_s=conn_s,
                 mean_disconnected_s=300.0,
                 duration_s=_duration_s(preset["duration_s"], conn_s, 300.0),
-            )
-            cfg = ExperimentConfig(
-                protocol=protocol,
-                grid_k=preset["grid_k"],
-                seed=seed,
-                workload=spec,
-            )
-            rows.append(run_experiment(cfg))
-    return rows
+            ),
+        )
+        for conn_s in conn_periods_s
+        for protocol in protocols
+    ]
+    return _run_configs(cfgs, workers)
 
 
 def _sweep_size(
@@ -80,22 +102,25 @@ def _sweep_size(
     protocols: Sequence[str],
     grid_sizes: Sequence[int],
     seed: int,
+    workers: Optional[int] = None,
 ) -> list[ResultRow]:
     preset = SCALES[scale]
-    rows: list[ResultRow] = []
-    for k in grid_sizes:
-        for protocol in protocols:
-            spec = WorkloadSpec(
+    cfgs = [
+        ExperimentConfig(
+            protocol=protocol,
+            grid_k=k,
+            seed=seed,
+            workload=WorkloadSpec(
                 clients_per_broker=preset["clients_per_broker"],
                 mean_connected_s=300.0,
                 mean_disconnected_s=300.0,
                 duration_s=_duration_s(preset["duration_s"], 300.0, 300.0),
-            )
-            cfg = ExperimentConfig(
-                protocol=protocol, grid_k=k, seed=seed, workload=spec
-            )
-            rows.append(run_experiment(cfg))
-    return rows
+            ),
+        )
+        for k in grid_sizes
+        for protocol in protocols
+    ]
+    return _run_configs(cfgs, workers)
 
 
 # ---------------------------------------------------------------------------
@@ -106,10 +131,16 @@ def run_fig5(
     protocols: Sequence[str] = PROTOCOLS_UNDER_TEST,
     conn_periods_s: Optional[Sequence[float]] = None,
     seed: int = 1,
+    workers: Optional[int] = None,
 ) -> list[ResultRow]:
-    """Both panels of Figure 5 share one sweep; run it once."""
+    """Both panels of Figure 5 share one sweep; run it once.
+
+    ``workers=N`` fans the (protocol, connection-period) runs out over N
+    processes; rows come back in the serial loop's order.
+    """
     return _sweep_conn(
-        scale, protocols, conn_periods_s or CONN_PERIOD_SWEEP_S, seed
+        scale, protocols, conn_periods_s or CONN_PERIOD_SWEEP_S, seed,
+        workers=workers,
     )
 
 
@@ -118,9 +149,16 @@ def run_fig6(
     protocols: Sequence[str] = PROTOCOLS_UNDER_TEST,
     grid_sizes: Optional[Sequence[int]] = None,
     seed: int = 1,
+    workers: Optional[int] = None,
 ) -> list[ResultRow]:
-    """Both panels of Figure 6 share one sweep; run it once."""
-    return _sweep_size(scale, protocols, grid_sizes or GRID_SIZE_SWEEP, seed)
+    """Both panels of Figure 6 share one sweep; run it once.
+
+    ``workers=N`` fans the (protocol, grid-size) runs out over N processes;
+    rows come back in the serial loop's order.
+    """
+    return _sweep_size(
+        scale, protocols, grid_sizes or GRID_SIZE_SWEEP, seed, workers=workers
+    )
 
 
 def _series(

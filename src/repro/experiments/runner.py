@@ -37,6 +37,7 @@ def build_system(cfg: ExperimentConfig) -> tuple[PubSubSystem, Workload]:
         covering_enabled=cfg.covering_enabled,
         migration_batch_size=cfg.migration_batch_size,
         sim_engine=cfg.sim_engine,
+        covering_index=cfg.covering_index,
     )
     workload = Workload(system, cfg.workload)
     return system, workload

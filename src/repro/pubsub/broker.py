@@ -47,6 +47,7 @@ class Broker:
             broker_id,
             system.tree.neighbors(broker_id),
             engine=system.matching_engine,
+            covering_index=system.covering_index,
         )
         # queues hosted here, keyed by broker-local queue id
         self.queues: dict[int, "PersistentQueue"] = {}
@@ -174,23 +175,41 @@ class Broker:
 
         Re-advertisements are sent *before* the unsubscribe so the
         neighbour's table never has a window with neither filter installed.
+
+        With the covering index (the default) the candidate search asks the
+        table for exactly the entries the withdrawn filter covers
+        (:meth:`FilterTable.covered_candidates`) — anything else provably
+        kept whatever cover it already had — instead of walking every client
+        entry and every other neighbour's filters per withdrawal. Both paths
+        visit candidates in the same order, so they emit identical
+        re-advertisements.
         """
-        if not self.table.advertised_has(nbr, key):
+        table = self.table
+        if not table.advertised_count(nbr):
+            return  # nothing ever advertised to this neighbour
+        if not table.advertised_has(nbr, key):
             return
         resubs: list[tuple[Hashable, Filter]] = []
         if self.system.covering_enabled:
-            self.table.advertised_remove(nbr, key)
+            withdrawn = (
+                table.advertised_get(nbr, key) if table.covering_index else None
+            )
+            table.advertised_remove(nbr, key)
+            if withdrawn is not None:
+                candidates = table.covered_candidates(nbr, withdrawn)
+            else:
+                candidates = self._table_filters_excluding(nbr)
             # candidate filters that may have been suppressed by `key`
-            for cand_key, cand_f in self._table_filters_excluding(nbr):
+            for cand_key, cand_f in candidates:
                 if cand_key == key:
                     continue
-                if self.table.advertised_has(nbr, cand_key):
+                if table.advertised_has(nbr, cand_key):
                     continue
-                if not self.table.advertised_covers(nbr, cand_f):
-                    self.table.advertised_add(nbr, cand_key, cand_f)
+                if not table.advertised_covers(nbr, cand_f):
+                    table.advertised_add(nbr, cand_key, cand_f)
                     resubs.append((cand_key, cand_f))
         else:
-            self.table.advertised_remove(nbr, key)
+            table.advertised_remove(nbr, key)
         for cand_key, cand_f in resubs:
             self.links.broker_to_broker(
                 self.id, nbr, m.SubscribeMessage(cand_key, cand_f, category)
@@ -200,16 +219,18 @@ class Broker:
         )
 
     def _table_filters_excluding(self, nbr: int):
-        """All (key, filter) pairs visible from peers other than ``nbr``."""
+        """All (key, filter) pairs visible from peers other than ``nbr``.
+
+        Fallback candidate scan when the covering index is disabled — fully
+        lazy: no key-list materialization, no per-key lookups, entries are
+        yielded straight off the table's internal order.
+        """
         for entry in self.table.clients.values():
             yield (entry.key, entry.filter)
         for other in self.table.neighbors:
             if other == nbr:
                 continue
-            for key in self.table.broker_filter_keys(other):
-                f = self.table.broker_filter_get(other, key)
-                if f is not None:
-                    yield (key, f)
+            yield from self.table.iter_broker_filters(other)
 
     # ------------------------------------------------------------------
     # direct table surgery (MHH subscription migration)

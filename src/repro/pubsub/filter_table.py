@@ -32,14 +32,34 @@ The table also tracks what this broker has **advertised** to each neighbour
 bookkeeping drives covering-based propagation pruning and must be kept
 consistent by MHH's direct table edits; the system-wide mirror invariant is
 asserted in tests.
+
+Control-plane cost is governed by three indexes (all toggleable back to
+their scan-based forms for differential testing):
+
+* every per-neighbour range set and the engine's per-attribute indexes sit
+  on the *incremental* :class:`~repro.pubsub.interval_index.IntervalIndex`,
+  so a handoff's table edit costs O(log n) instead of a full re-sort;
+* with ``covering_index=True`` (default) each advertised set carries a
+  :class:`~repro.pubsub.covering.CoveringIndex` making ``advertised_covers``
+  O(log n), and the table maintains one broker-wide *candidates*
+  CoveringIndex over every client entry and neighbour filter, so
+  :meth:`FilterTable.covered_candidates` enumerates exactly the entries a
+  withdrawn filter could have been suppressing — in the same order the
+  legacy full-table scan would visit them, so both paths emit identical
+  re-advertisements;
+* a client→entries map makes :meth:`entries_for_client` (every
+  connect/handoff, all four protocols) O(entries-of-that-client) instead of
+  a scan over every entry on the broker.
 """
 
 from __future__ import annotations
 
 from itertools import count
+from operator import itemgetter
 from typing import Hashable, Iterable, Optional
 
 from repro.errors import ProtocolError
+from repro.pubsub.covering import CoveringIndex
 from repro.pubsub.events import Notification
 from repro.pubsub.filters import Filter
 from repro.pubsub.interval_index import IntervalIndex
@@ -92,32 +112,69 @@ class ClientEntry:
 
 
 class _PeerFilters:
-    """Filters advertised by one neighbour: range index + general list."""
+    """Filters advertised by one neighbour: range index + general list.
 
-    __slots__ = ("ranges", "general")
+    ``filters`` keeps every installed filter object so lookups return the
+    original (no per-:meth:`get` reconstruction), and ``_seq`` stamps each
+    key with ``(subtable, insertion-seq)`` — the position it occupies in
+    :meth:`keys` order — so indexed candidate enumeration can reproduce the
+    legacy scan order exactly. With ``covering_index=True`` the set also
+    carries a :class:`CoveringIndex` answering :meth:`covers` in O(log n)
+    (used for advertised sets, where covering-pruned propagation queries it
+    on every subscribe/withdraw).
+    """
 
-    def __init__(self) -> None:
+    __slots__ = (
+        "ranges", "general", "filters", "_seq", "_next_seq", "cov",
+        "_want_cov",
+    )
+
+    def __init__(self, covering_index: bool = False) -> None:
         self.ranges = IntervalIndex()
         self.general: dict[Hashable, Filter] = {}
+        self.filters: dict[Hashable, Filter] = {}
+        self._seq: dict[Hashable, tuple[int, int]] = {}
+        self._next_seq = count()
+        # the CoveringIndex is built lazily on the first covers() call and
+        # maintained incrementally from then on — non-covering runs (MHH
+        # and the default reproduction configs) never query covering, so
+        # they never pay for index maintenance
+        self._want_cov = covering_index
+        self.cov: Optional[CoveringIndex] = None
 
     def add(self, key: Hashable, f: Filter) -> None:
         rng = f.as_range()
         if rng is not None and rng[0] == "topic":
+            sub = 0
+            self.general.pop(key, None)  # replace across subtables
             self.ranges.add(key, rng[1], rng[2])
         else:
+            sub = 1
+            self.ranges.discard(key)
             self.general[key] = f
+        self.filters[key] = f
+        old = self._seq.get(key)
+        if old is None or old[0] != sub:
+            self._seq[key] = (sub, next(self._next_seq))
+        if self.cov is not None:
+            self.cov.add(key, f)
 
     def remove(self, key: Hashable) -> bool:
         if key in self.ranges:
             self.ranges.remove(key)
-            return True
-        return self.general.pop(key, None) is not None
+        elif self.general.pop(key, None) is None:
+            return False
+        del self.filters[key]
+        del self._seq[key]
+        if self.cov is not None:
+            self.cov.discard(key)
+        return True
 
     def __contains__(self, key: Hashable) -> bool:
-        return key in self.ranges or key in self.general
+        return key in self.filters
 
     def __len__(self) -> int:
-        return len(self.ranges) + len(self.general)
+        return len(self.filters)
 
     def matches(self, event: Notification) -> bool:
         if self.ranges.stab(event.topic):
@@ -126,6 +183,13 @@ class _PeerFilters:
 
     def covers(self, f: Filter) -> bool:
         """Is ``f`` covered by some filter in this set? (conservative)"""
+        cov = self.cov
+        if cov is None and self._want_cov:
+            cov = self.cov = CoveringIndex()
+            for key, installed in self.filters.items():
+                cov.add(key, installed)
+        if cov is not None:
+            return cov.covers(f)
         rng = f.as_range()
         if rng is not None and rng[0] == "topic":
             if self.ranges.contains_interval(rng[1], rng[2]):
@@ -135,13 +199,19 @@ class _PeerFilters:
     def keys(self) -> list[Hashable]:
         return [k for k, _ in self.ranges.items()] + list(self.general)
 
-    def get(self, key: Hashable) -> Optional[Filter]:
-        iv = self.ranges.get(key)
-        if iv is not None:
-            from repro.pubsub.filters import RangeFilter
+    def iter_filters(self):
+        """(key, filter) pairs in :meth:`keys` order, lazily."""
+        filters = self.filters
+        for key, _iv in self.ranges.items():
+            yield key, filters[key]
+        yield from self.general.items()
 
-            return RangeFilter(iv[0], iv[1])
-        return self.general.get(key)
+    def order_key(self, key: Hashable) -> tuple[int, int]:
+        """(subtable, seq) position of ``key`` in :meth:`keys` order."""
+        return self._seq[key]
+
+    def get(self, key: Hashable) -> Optional[Filter]:
+        return self.filters.get(key)
 
 
 class FilterTable:
@@ -160,6 +230,7 @@ class FilterTable:
         broker_id: int,
         neighbors: Iterable[int],
         engine: str = "counting",
+        covering_index: bool = True,
     ) -> None:
         if engine not in ENGINE_MODES:
             raise ProtocolError(
@@ -168,25 +239,39 @@ class FilterTable:
             )
         self.broker_id = broker_id
         self.engine_mode = engine
+        self.covering_index = covering_index
         self.neighbors = sorted(neighbors)
         # subs received FROM each neighbour ("that side is interested")
         self._from_nbr: dict[int, _PeerFilters] = {
             n: _PeerFilters() for n in self.neighbors
         }
-        # subs we advertised TO each neighbour (mirror of their _from_nbr[us])
+        # subs we advertised TO each neighbour (mirror of their _from_nbr[us]);
+        # only these sets answer covering queries, so only they carry the
+        # per-neighbour CoveringIndex
         self._advertised: dict[int, _PeerFilters] = {
-            n: _PeerFilters() for n in self.neighbors
+            n: _PeerFilters(covering_index=covering_index)
+            for n in self.neighbors
         }
         # client entries keyed by subscription key; a client normally has at
         # most one entry per broker, but the sub-unsub baseline can briefly
         # root two subscription epochs of one client at the same broker
         self.clients: dict[Hashable, ClientEntry] = {}
+        # per-client view of `clients` (same entry objects) for O(entries)
+        # connect/handoff lookups
+        self._by_client: dict[int, dict[Hashable, ClientEntry]] = {}
         # broker-wide counting engine, kept in sync by every mutator below
         # (None in scan mode). Client-entry insertion order is tracked so
         # engine results replay the scan path's dict-order exactly.
         self._engine = CountingMatchingEngine() if engine == "counting" else None
         self._client_seq: dict[Hashable, int] = {}
         self._next_seq = count()
+        # broker-wide covering index over every withdrawal *candidate*
+        # (client entries + every neighbour's filters): drives
+        # covered_candidates(). Built lazily on the first covering
+        # withdrawal and maintained incrementally from then on, so
+        # non-covering runs never pay for it. Always None when the
+        # covering_index toggle is off.
+        self._candidates: Optional[CoveringIndex] = None
 
     # ------------------------------------------------------------------
     # broker-filter side
@@ -195,12 +280,17 @@ class FilterTable:
         self._from_nbr[nbr].add(key, f)
         if self._engine is not None:
             self._engine.add_group_member(nbr, key, f)
+        if self._candidates is not None:
+            self._candidates.add(("n", nbr, key), f)
 
     def remove_broker_filter(self, nbr: int, key: Hashable) -> bool:
         """Remove; returns False if the key was absent."""
         removed = self._from_nbr[nbr].remove(key)
-        if removed and self._engine is not None:
-            self._engine.discard_group_member(nbr, key)
+        if removed:
+            if self._engine is not None:
+                self._engine.discard_group_member(nbr, key)
+            if self._candidates is not None:
+                self._candidates.discard(("n", nbr, key))
         return removed
 
     def has_broker_filter(self, nbr: int, key: Hashable) -> bool:
@@ -214,6 +304,10 @@ class FilterTable:
 
     def broker_filter_count(self, nbr: int) -> int:
         return len(self._from_nbr[nbr])
+
+    def iter_broker_filters(self, nbr: int):
+        """Lazy (key, filter) pairs from ``nbr``, in ``keys()`` order."""
+        return self._from_nbr[nbr].iter_filters()
 
     # ------------------------------------------------------------------
     # advertisement mirror
@@ -236,18 +330,85 @@ class FilterTable:
     def advertised_get(self, nbr: int, key: Hashable) -> Optional[Filter]:
         return self._advertised[nbr].get(key)
 
+    def advertised_count(self, nbr: int) -> int:
+        return len(self._advertised[nbr])
+
+    # ------------------------------------------------------------------
+    # covering-based withdrawal support
+    # ------------------------------------------------------------------
+    def covered_candidates(
+        self, nbr: int, f: Filter
+    ) -> list[tuple[Hashable, Filter]]:
+        """Table entries a withdrawal of ``f`` toward ``nbr`` could expose.
+
+        When a covering-pruned advertisement is withdrawn, the only entries
+        that can newly need re-advertising are those the withdrawn filter
+        covers (anything else keeps whatever cover it already had). This
+        enumerates exactly that set — every client entry and every filter
+        from neighbours other than ``nbr`` with ``f.covers(entry)`` — in the
+        order the legacy full-table scan (:meth:`iter_broker_filters` after
+        the client entries) would visit them, so the indexed and scanning
+        withdrawal paths re-advertise identical filters in identical order.
+        """
+        candidates = self._candidates
+        if candidates is None:
+            candidates = self._candidates = CoveringIndex()
+            for key, entry in self.clients.items():
+                candidates.add(("c", key), entry.filter)
+            for nbr_id, peer in self._from_nbr.items():
+                for key, installed in peer.filters.items():
+                    candidates.add(("n", nbr_id, key), installed)
+        ranked = []
+        client_seq = self._client_seq
+        for ckey in candidates.covered_by(f):
+            if ckey[0] == "c":
+                key = ckey[1]
+                ranked.append(
+                    ((-1, 0, client_seq[key]), key, self.clients[key].filter)
+                )
+            else:
+                _tag, other, key = ckey
+                if other == nbr:
+                    continue
+                peer = self._from_nbr[other]
+                sub, seq = peer.order_key(key)
+                ranked.append(((other, sub, seq), key, peer.filters[key]))
+        ranked.sort(key=itemgetter(0))
+        return [(key, cand) for _rank, key, cand in ranked]
+
     # ------------------------------------------------------------------
     # client entries
     # ------------------------------------------------------------------
     def set_client_entry(self, entry: ClientEntry) -> None:
         if entry.key not in self._client_seq:
             self._client_seq[entry.key] = next(self._next_seq)
+        prev = self.clients.get(entry.key)
+        if prev is not None and prev.client != entry.client:
+            self._drop_client_ref(prev)
         self.clients[entry.key] = entry
+        self._by_client.setdefault(entry.client, {})[entry.key] = entry
         if self._engine is not None:
             self._engine.add(entry.key, entry.filter)
+        if self._candidates is not None:
+            self._candidates.add(("c", entry.key), entry.filter)
+
+    def _drop_client_ref(self, entry: ClientEntry) -> None:
+        bucket = self._by_client.get(entry.client)
+        if bucket is not None:
+            bucket.pop(entry.key, None)
+            if not bucket:
+                del self._by_client[entry.client]
 
     def entries_for_client(self, client: int) -> list[ClientEntry]:
-        return [e for e in self.clients.values() if e.client == client]
+        bucket = self._by_client.get(client)
+        if not bucket:
+            return []
+        if len(bucket) == 1:
+            return list(bucket.values())
+        # several entries (sub-unsub epoch overlap): report them in global
+        # installation order, exactly as the old whole-table scan did
+        seq = self._client_seq
+        return sorted(bucket.values(), key=lambda e: seq[e.key])
 
     def get_client_entry(self, client: int) -> Optional[ClientEntry]:
         """The unique entry for ``client`` (None if absent).
@@ -279,13 +440,17 @@ class FilterTable:
         self.remove_entry_by_key(entry.key)
 
     def remove_entry_by_key(self, key: Hashable) -> None:
-        if self.clients.pop(key, None) is None:
+        entry = self.clients.pop(key, None)
+        if entry is None:
             raise ProtocolError(
                 f"broker {self.broker_id}: removing absent entry {key!r}"
             )
+        self._drop_client_ref(entry)
         self._client_seq.pop(key, None)
         if self._engine is not None:
             self._engine.discard(key)
+        if self._candidates is not None:
+            self._candidates.discard(("c", key))
 
     # ------------------------------------------------------------------
     # matching (the hot path)

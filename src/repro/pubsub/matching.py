@@ -56,9 +56,11 @@ call, the exact slot set (client entries) *and* the matched group set
 Mutations are **incremental**: registering or dropping a filter touches only
 the buckets its constraints live in (mobility protocols mutate routing
 tables on every handoff, so a global rebuild per mutation would dominate
-simulation time). The order-sensitive structures — interval trees and
-inequality arrays — only mark themselves dirty and re-sort lazily on the
-next match, mirroring :class:`~repro.pubsub.interval_index.IntervalIndex`.
+simulation time). The order-sensitive structures are maintained in place —
+the per-attribute :class:`~repro.pubsub.interval_index.IntervalIndex` via
+its incremental bisect-insert/prefix-repair path, the inequality arrays via
+eager bisect insert/delete — so a handoff's table edit never triggers a
+table-sized re-sort.
 """
 
 from __future__ import annotations
@@ -87,32 +89,41 @@ def _is_number(v: Any) -> bool:
 class _SortedValues:
     """Dynamic (value, cid) pairs for one inequality operator.
 
-    Mutation marks the arrays dirty; :meth:`pairs` re-sorts lazily so a
-    bisect over ``values`` yields the contiguous run of satisfied cids.
+    Maintained eagerly with bisect insert/delete — O(log n) comparisons
+    plus one C-level memmove per mutation (mobility churn mutates these on
+    every handoff; the former lazy full re-sort per mutated-then-queried
+    cycle was O(n log n)). A bisect over ``values`` yields the contiguous
+    run of satisfied cids.
     """
 
-    __slots__ = ("_items", "_dirty", "_values", "_cids")
+    __slots__ = ("_items", "_values", "_cids")
 
     def __init__(self) -> None:
         self._items: dict[int, float] = {}
-        self._dirty = False
         self._values: list[float] = []
         self._cids: list[int] = []
 
     def add(self, cid: int, value: float) -> None:
         self._items[cid] = value
-        self._dirty = True
+        i = bisect_right(self._values, value)
+        self._values.insert(i, value)
+        self._cids.insert(i, cid)
 
     def discard(self, cid: int) -> None:
-        if self._items.pop(cid, None) is not None:
-            self._dirty = True
+        value = self._items.pop(cid, None)
+        if value is None:
+            return
+        cids = self._cids
+        i = bisect_left(self._values, value) if value == value else 0
+        n = len(cids)
+        while i < n and cids[i] != cid:
+            i += 1
+        if i == n:  # NaN-poisoned ordering: positional fallback
+            i = cids.index(cid)
+        self._values.pop(i)
+        cids.pop(i)
 
     def pairs(self) -> tuple[list[float], list[int]]:
-        if self._dirty:
-            order = sorted(self._items.items(), key=lambda t: t[1])
-            self._values = [v for _, v in order]
-            self._cids = [c for c, _ in order]
-            self._dirty = False
         return self._values, self._cids
 
     def __len__(self) -> int:

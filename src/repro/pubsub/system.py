@@ -69,6 +69,7 @@ class PubSubSystem:
         topology: Optional[Topology] = None,
         matching_engine: str = "counting",
         sim_engine: str = "lanes",
+        covering_index: bool = True,
     ) -> None:
         if grid_k <= 0 and topology is None:
             raise ConfigurationError(f"grid_k must be >= 1, got {grid_k}")
@@ -97,6 +98,11 @@ class PubSubSystem:
         #: the default) or 'heap' (legacy heap-only engine, kept for
         #: differential testing)
         self.sim_engine = sim_engine
+        #: indexed covering (per-neighbour CoveringIndex + broker-wide
+        #: withdrawal-candidate index; the default) vs the legacy scan-based
+        #: covering checks — message-for-message identical, kept toggleable
+        #: for differential testing (tests/test_control_plane.py)
+        self.covering_index = bool(covering_index)
         self.seed = seed
         #: events per queue-migration message (bulk queue transfers)
         self.migration_batch_size = migration_batch_size

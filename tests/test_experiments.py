@@ -133,6 +133,39 @@ def test_fig6_sweep_smoke_shapes():
     assert set(x for x, _ in b["mhh"]) == {9, 25}
 
 
+def test_parallel_sweep_matches_serial():
+    """workers=N fans runs out over processes; rows (and their order) are
+    identical to the serial loop."""
+    kwargs = dict(
+        scale="smoke",
+        protocols=("mhh", "home-broker"),
+        conn_periods_s=(10.0, 100.0),
+        seed=2,
+    )
+    serial = run_fig5(**kwargs)
+    parallel = run_fig5(workers=2, **kwargs)
+    assert len(parallel) == len(serial) == 4
+    for a, b in zip(serial, parallel):
+        assert a.protocol == b.protocol
+        assert a.params == b.params
+        assert a.as_dict() == b.as_dict()
+        assert a.sim_events == b.sim_events
+
+
+def test_covering_index_config_plumbs_through():
+    cfg = ExperimentConfig(protocol="sub-unsub", grid_k=3, seed=4,
+                           workload=FAST, covering_enabled=True)
+    legacy = run_experiment(
+        ExperimentConfig(protocol="sub-unsub", grid_k=3, seed=4,
+                         workload=FAST, covering_enabled=True,
+                         covering_index=False)
+    )
+    indexed = run_experiment(cfg)
+    assert cfg.covering_index is True
+    assert indexed.as_dict() == legacy.as_dict()
+    assert indexed.sim_events == legacy.sim_events
+
+
 def test_format_table_and_series_render():
     rows = run_fig5(
         scale="smoke", protocols=("mhh",), conn_periods_s=(10.0,), seed=2

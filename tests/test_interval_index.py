@@ -1,5 +1,13 @@
-"""Unit + property tests for the interval index (stab and containment)."""
+"""Unit + property tests for the interval index (stab and containment).
 
+The index maintains its sorted arrays incrementally by default; every test
+here also runs against ``IntervalIndex(incremental=False)`` (the legacy
+rebuild-per-mutation oracle) via the differential tests at the bottom.
+"""
+
+import random
+
+import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.pubsub.interval_index import IntervalIndex
@@ -141,3 +149,97 @@ def test_property_removal_consistency(raw, x, data):
         del items[victim]
     expect = any(lo <= x <= hi for lo, hi in items.values())
     assert idx.stab(x) == expect
+
+
+# ---------------------------------------------------------------------------
+# incremental maintenance vs the rebuild-from-scratch oracle
+# ---------------------------------------------------------------------------
+def test_incremental_mutation_between_queries():
+    """Mutations after the arrays are built repair them in place."""
+    idx = IntervalIndex()
+    idx.add("a", 0.0, 0.2)
+    assert idx.stab(0.1)          # arrays built here
+    idx.add("b", 0.6, 0.8)        # incremental insert
+    assert idx.stab(0.7)
+    idx.add("a", 0.3, 0.4)        # incremental replace
+    assert not idx.stab(0.1) and idx.stab(0.35)
+    idx.remove("b")               # incremental delete
+    assert not idx.stab(0.7)
+    assert sorted(idx.items()) == [("a", (0.3, 0.4))]
+
+
+def test_incremental_ties_on_hi_keep_exclusion_exact():
+    """Equal-hi intervals: whichever is the stored max, exclusion works."""
+    idx = IntervalIndex()
+    idx.add("a", 0.1, 0.9)
+    assert idx.stab(0.5)
+    idx.add("b", 0.2, 0.9)        # tie on hi after arrays exist
+    assert idx.contains_interval(0.3, 0.9, exclude="a")
+    assert idx.contains_interval(0.3, 0.9, exclude="b")
+    idx.remove("b")
+    assert not idx.contains_interval(0.3, 0.9, exclude="a")
+
+
+def test_contained_keys_enumeration():
+    idx = IntervalIndex()
+    idx.add("in1", 0.2, 0.3)
+    idx.add("in2", 0.25, 0.4)
+    idx.add("straddle", 0.1, 0.35)
+    idx.add("outside", 0.5, 0.6)
+    assert sorted(idx.contained_keys(0.2, 0.4)) == ["in1", "in2"]
+    assert idx.contained_keys(0.9, 1.0) == []
+
+
+def contained_bruteforce(items, lo, hi):
+    return sorted(k for k, (l, h) in items.items() if lo <= l and h <= hi)
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_differential_incremental_vs_rebuild(seed):
+    """Randomized churn: every query identical to the rebuild oracle (and
+    to brute force), after every mutation."""
+    rnd = random.Random(seed)
+    inc = IntervalIndex()
+    oracle = IntervalIndex(incremental=False)
+    items = {}
+    for step in range(400):
+        roll = rnd.random()
+        if roll < 0.5 or not items:
+            k = rnd.randrange(30)
+            a, b = sorted((rnd.uniform(0, 1), rnd.uniform(0, 1)))
+            inc.add(k, a, b)
+            oracle.add(k, a, b)
+            items[k] = (a, b)
+        elif roll < 0.75:
+            k = rnd.choice(list(items))
+            inc.remove(k)
+            oracle.remove(k)
+            del items[k]
+        else:
+            k = rnd.randrange(40)
+            inc.discard(k)
+            oracle.discard(k)
+            items.pop(k, None)
+        if rnd.random() < 0.6:
+            x = rnd.uniform(-0.2, 1.2)
+            brute = any(lo <= x <= hi for lo, hi in items.values())
+            assert inc.stab(x) == oracle.stab(x) == brute, (seed, step)
+            stabbed = sorted(
+                k for k, (lo, hi) in items.items() if lo <= x <= hi
+            )
+            assert sorted(inc.stab_all(x)) == sorted(oracle.stab_all(x)) \
+                == stabbed, (seed, step)
+            a, b = sorted((rnd.uniform(0, 1), rnd.uniform(0, 1)))
+            for excl in (None, rnd.randrange(30)):
+                brute_c = any(
+                    lo <= a and b <= hi
+                    for k, (lo, hi) in items.items() if k != excl
+                )
+                assert inc.contains_interval(a, b, excl) \
+                    == oracle.contains_interval(a, b, excl) == brute_c, \
+                    (seed, step, excl)
+            assert sorted(inc.contained_keys(a, b)) \
+                == sorted(oracle.contained_keys(a, b)) \
+                == contained_bruteforce(items, a, b), (seed, step)
+            assert sorted(inc.items()) == sorted(oracle.items()) \
+                == sorted(items.items())
