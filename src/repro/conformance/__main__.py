@@ -1,0 +1,8 @@
+"""``python -m repro.conformance`` — the conformance fuzzer CLI."""
+
+import sys
+
+from repro.conformance.fuzzer import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,391 @@
+"""The protocol-conformance fuzzer: invariant matrix + cross-engine identity.
+
+For every sampled :class:`~repro.conformance.scenarios.Scenario` the fuzzer
+runs the full experiment pipeline (measurement window, metric snapshot,
+drain to quiescence) and then checks:
+
+**Invariant matrix** (per protocol, after the drain):
+
+=============  ==========================================================
+protocol       guarantee checked
+=============  ==========================================================
+mhh            zero unaccounted deliveries; losses exactly the injected
+               link drops; duplicates exactly the injected link copies;
+               per-publisher order intact
+sub-unsub      same as mhh (the paper's reliable baseline)
+two-phase      same as mhh (its documented guarantee: exactly-once with
+               FIFO capture untouched — only slower under concurrency)
+home-broker    losses *allowed* but fully accounted: every expected
+               delivery is delivered or explicitly lost, protocol losses
+               on top of (never below) the injected link drops; no
+               duplicates beyond the injected copies. Per-publisher order
+               is not part of its contract and is not asserted.
+=============  ==========================================================
+
+In all cases the traffic meter's fault ledgers must agree with the
+injector's own counters — a drop that escaped accounting is a conformance
+failure even if delivery happens to reconcile.
+
+**Cross-engine identity**: the same scenario re-run with the all-legacy
+engine bundle (heap scheduler × scan matching × covering scans) must
+produce a byte-identical delivery log, identical delivery/loss/duplicate
+counters, identical per-category wired traffic and the same processed
+event count. The engines are documented as trace-identical; the fuzzer
+makes that a standing randomized gate every future optimisation inherits.
+
+Replay: every failure line carries the scenario seed;
+``python -m repro.conformance.fuzzer --scenario-seed N`` reruns exactly
+that scenario (same workload, same fault draws, byte-identical).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+from repro.conformance.scenarios import ENGINE_BUNDLES, Scenario
+from repro.experiments.runner import build_system, drain_to_quiescence
+
+__all__ = [
+    "ScenarioOutcome",
+    "FuzzReport",
+    "ScenarioFuzzer",
+    "run_scenario",
+    "check_invariants",
+    "compare_outcomes",
+    "main",
+]
+
+#: protocols whose contract is exactly-once, ordered, loss-free delivery
+RELIABLE_PROTOCOLS = frozenset({"mhh", "sub-unsub", "two-phase"})
+
+
+@dataclass
+class ScenarioOutcome:
+    """End-state of one scenario run under one engine bundle."""
+
+    engine_bundle: tuple[str, str, bool]
+    published: int
+    expected: int
+    delivered: int
+    duplicates: int
+    order_violations: int
+    lost: int
+    missing: int
+    handoffs: int
+    injected_drops: int
+    injected_dups: int
+    meter_drops: int
+    meter_dups: int
+    sim_events: int
+    wired_by_category: dict[str, int] = field(default_factory=dict)
+    #: (client, event_id, time) per delivery, in delivery order
+    delivery_log: tuple[tuple[int, int, float], ...] = ()
+
+
+def run_scenario(
+    scenario: Scenario,
+    sim_engine: str = "lanes",
+    matching_engine: str = "counting",
+    covering_index: bool = True,
+) -> ScenarioOutcome:
+    """Run one scenario end-to-end (measurement + drain) and snapshot it."""
+    cfg = scenario.config(
+        sim_engine=sim_engine,
+        matching_engine=matching_engine,
+        covering_index=covering_index,
+    )
+    system, workload = build_system(cfg)
+    system.metrics.delivery.record_log = True
+    system.run(until=cfg.workload.duration_ms)
+    workload.stop()
+    drain_to_quiescence(system, workload)
+    stats = system.metrics.delivery.stats
+    injector = system.fault_injector
+    meter = system.metrics.traffic
+    return ScenarioOutcome(
+        engine_bundle=(sim_engine, matching_engine, covering_index),
+        published=stats.published,
+        expected=stats.expected,
+        delivered=stats.delivered,
+        duplicates=stats.duplicates,
+        order_violations=stats.order_violations,
+        lost=stats.lost_explicit,
+        missing=stats.missing,
+        handoffs=system.metrics.handoffs.handoff_count,
+        injected_drops=injector.drops if injector else 0,
+        injected_dups=injector.dups_delivered if injector else 0,
+        meter_drops=meter.total_dropped(),
+        meter_dups=meter.total_duplicated(),
+        sim_events=system.sim.events_processed,
+        wired_by_category=dict(meter.by_category()),
+        delivery_log=tuple(system.metrics.delivery.log),
+    )
+
+
+# ---------------------------------------------------------------------------
+# invariants
+# ---------------------------------------------------------------------------
+def check_invariants(scenario: Scenario, o: ScenarioOutcome) -> list[str]:
+    """Violations of the protocol's invariant matrix (empty = conformant)."""
+    v: list[str] = []
+    reliable = scenario.protocol in RELIABLE_PROTOCOLS
+    if o.missing != 0:
+        v.append(
+            f"missing={o.missing}: expected deliveries neither performed "
+            f"nor explicitly accounted as lost"
+        )
+    if o.duplicates != o.injected_dups:
+        v.append(
+            f"duplicates={o.duplicates} != injected link copies "
+            f"{o.injected_dups}: the protocol introduced or swallowed "
+            f"duplicates of its own"
+        )
+    if reliable:
+        if o.lost != o.injected_drops:
+            v.append(
+                f"lost={o.lost} != injected link drops {o.injected_drops}: "
+                f"a reliable protocol must lose exactly what the link lost"
+            )
+        if o.order_violations != 0:
+            v.append(
+                f"order_violations={o.order_violations}: per-publisher "
+                f"order must hold"
+            )
+    else:
+        if o.lost < o.injected_drops:
+            v.append(
+                f"lost={o.lost} < injected link drops {o.injected_drops}: "
+                f"link losses escaped the accounting"
+            )
+    if o.meter_drops != o.injected_drops:
+        v.append(
+            f"traffic meter drop ledger {o.meter_drops} != injector "
+            f"drops {o.injected_drops}"
+        )
+    if o.meter_dups != o.injected_dups:
+        v.append(
+            f"traffic meter dup ledger {o.meter_dups} != injector "
+            f"dups {o.injected_dups}"
+        )
+    if not scenario.faults.active and (o.injected_drops or o.injected_dups):
+        v.append("fault profile inactive but the injector fired")
+    if o.published == 0:
+        v.append("degenerate scenario: nothing was published")
+    return v
+
+
+def compare_outcomes(a: ScenarioOutcome, b: ScenarioOutcome) -> list[str]:
+    """Cross-engine identity violations between two runs of one scenario."""
+    v: list[str] = []
+    for attr in (
+        "published",
+        "expected",
+        "delivered",
+        "duplicates",
+        "order_violations",
+        "lost",
+        "missing",
+        "handoffs",
+        "injected_drops",
+        "injected_dups",
+        "sim_events",
+    ):
+        av, bv = getattr(a, attr), getattr(b, attr)
+        if av != bv:
+            v.append(
+                f"cross-engine {attr} diverged: {a.engine_bundle}={av} "
+                f"vs {b.engine_bundle}={bv}"
+            )
+    if a.wired_by_category != b.wired_by_category:
+        v.append(
+            f"cross-engine wired traffic diverged: "
+            f"{a.wired_by_category} vs {b.wired_by_category}"
+        )
+    if a.delivery_log != b.delivery_log:
+        # locate the first divergence for a actionable message
+        idx = next(
+            (
+                i
+                for i, (x, y) in enumerate(zip(a.delivery_log, b.delivery_log))
+                if x != y
+            ),
+            min(len(a.delivery_log), len(b.delivery_log)),
+        )
+        v.append(
+            f"cross-engine delivery log diverged at entry {idx}: "
+            f"{a.delivery_log[idx:idx + 1]} vs {b.delivery_log[idx:idx + 1]}"
+        )
+    return v
+
+
+# ---------------------------------------------------------------------------
+# the fuzzer
+# ---------------------------------------------------------------------------
+@dataclass
+class ScenarioResult:
+    seed: int
+    protocol: str
+    label: str
+    violations: list[str]
+
+    @property
+    def passed(self) -> bool:
+        return not self.violations
+
+
+@dataclass
+class FuzzReport:
+    master_seed: int
+    results: list[ScenarioResult] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return all(r.passed for r in self.results)
+
+    @property
+    def failures(self) -> list[ScenarioResult]:
+        return [r for r in self.results if not r.passed]
+
+    def protocol_counts(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for r in self.results:
+            counts[r.protocol] = counts.get(r.protocol, 0) + 1
+        return counts
+
+    def as_dict(self) -> dict:
+        return {
+            "master_seed": self.master_seed,
+            "passed": self.passed,
+            "protocols": self.protocol_counts(),
+            "scenarios": [
+                {
+                    "seed": r.seed,
+                    "label": r.label,
+                    "violations": r.violations,
+                    "replay": (
+                        f"python -m repro.conformance.fuzzer "
+                        f"--scenario-seed {r.seed}"
+                    ),
+                }
+                for r in self.results
+            ],
+        }
+
+
+class ScenarioFuzzer:
+    """Samples and runs ``n_scenarios`` scenarios derived from one master
+    seed; each scenario also re-runs under the all-legacy engine bundle
+    when ``cross_engine`` is on (the default)."""
+
+    def __init__(
+        self,
+        n_scenarios: int = 30,
+        master_seed: int = 0,
+        cross_engine: bool = True,
+    ) -> None:
+        self.n_scenarios = n_scenarios
+        self.master_seed = master_seed
+        self.cross_engine = cross_engine
+
+    def scenario_seeds(self) -> list[int]:
+        rnd = random.Random(self.master_seed)
+        return [rnd.randrange(2**31) for _ in range(self.n_scenarios)]
+
+    def run_one(self, scenario_seed: int) -> ScenarioResult:
+        scenario = Scenario.from_seed(scenario_seed)
+        primary = run_scenario(scenario, *ENGINE_BUNDLES[0])
+        violations = check_invariants(scenario, primary)
+        if self.cross_engine:
+            for bundle in ENGINE_BUNDLES[1:]:
+                alt = run_scenario(scenario, *bundle)
+                violations += [
+                    f"[{'/'.join(map(str, bundle))}] {v}"
+                    for v in check_invariants(scenario, alt)
+                ]
+                violations += compare_outcomes(primary, alt)
+        return ScenarioResult(
+            scenario_seed, scenario.protocol, scenario.label(), violations
+        )
+
+    def run(
+        self, progress: Optional[Callable[[str], None]] = None
+    ) -> FuzzReport:
+        report = FuzzReport(master_seed=self.master_seed)
+        for seed in self.scenario_seeds():
+            result = self.run_one(seed)
+            report.results.append(result)
+            if progress is not None:
+                status = "PASS" if result.passed else "FAIL"
+                progress(f"{status} {result.label}")
+                for violation in result.violations:
+                    progress(f"     - {violation}")
+        return report
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.conformance.fuzzer",
+        description=(
+            "Randomized protocol-conformance gate: sample adversarial "
+            "scenarios, run them end-to-end, assert the per-protocol "
+            "invariant matrix and cross-engine trace identity."
+        ),
+    )
+    parser.add_argument("--scenarios", type=int, default=30, metavar="N",
+                        help="number of scenarios to sample (default 30)")
+    parser.add_argument("--master-seed", type=int, default=0, metavar="S",
+                        help="seed deriving the scenario seeds (default 0)")
+    parser.add_argument("--scenario-seed", type=int, default=None, metavar="X",
+                        help="replay exactly one scenario by its seed "
+                             "(ignores --scenarios/--master-seed)")
+    parser.add_argument("--no-cross-engine", action="store_true",
+                        help="skip the legacy-engine identity re-runs "
+                             "(half the runtime, engine coverage lost)")
+    parser.add_argument("--out", default=None, metavar="PATH",
+                        help="write the full report (incl. every scenario "
+                             "seed + replay command) as JSON")
+    args = parser.parse_args(argv)
+
+    fuzzer = ScenarioFuzzer(
+        n_scenarios=args.scenarios,
+        master_seed=args.master_seed,
+        cross_engine=not args.no_cross_engine,
+    )
+    if args.scenario_seed is not None:
+        result = fuzzer.run_one(args.scenario_seed)
+        report = FuzzReport(master_seed=args.master_seed, results=[result])
+        print(("PASS " if result.passed else "FAIL ") + result.label)
+        for violation in result.violations:
+            print(f"     - {violation}")
+    else:
+        report = fuzzer.run(progress=print)
+
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(report.as_dict(), fh, indent=1, sort_keys=True)
+        print(f"report written to {args.out}")
+
+    n_failed = len(report.failures)
+    print(
+        f"{len(report.results) - n_failed}/{len(report.results)} scenarios "
+        f"conformant; protocols covered: {report.protocol_counts()}"
+    )
+    if n_failed:
+        print("replay failing scenarios byte-identically with:")
+        for r in report.failures:
+            print(f"  python -m repro.conformance.fuzzer "
+                  f"--scenario-seed {r.seed}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

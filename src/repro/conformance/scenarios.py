@@ -1,0 +1,162 @@
+"""Scenario space for the conformance fuzzer.
+
+A :class:`Scenario` is one adversarial end-to-end configuration: protocol,
+grid size, population, mobility model, topic skew and wireless fault
+profile. The whole record derives deterministically from a single integer
+via :meth:`Scenario.from_seed` — the fuzzer prints nothing but that seed
+on failure, and replaying it reconstructs the identical scenario (and,
+because every random stream in the simulator is seed-derived, the
+identical run, event for event).
+
+The sampling ranges are deliberately small and hostile: tiny grids with a
+handful of clients maximize the rate of handoff collisions, rapid-fire
+reconnects, queue reclaims and epoch races per simulated second, which is
+where mobility protocols historically break (PSVR's loss-prone channels,
+M&M's micro-mobility flapping). Fault-free and uniform choices stay in the
+mix so the conformance gate keeps covering the paper's original regime
+too.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.experiments.config import ExperimentConfig
+from repro.network.faults import FaultProfile
+from repro.workload.spec import WorkloadSpec
+
+__all__ = ["Scenario", "PROTOCOLS", "ENGINE_BUNDLES"]
+
+#: every protocol the repo implements as a reproduction target or baseline
+PROTOCOLS: tuple[str, ...] = ("mhh", "sub-unsub", "home-broker", "two-phase")
+
+#: the engine configurations cross-checked for trace identity: the default
+#: fast path vs the all-legacy path. Each bundle is
+#: (sim_engine, matching_engine, covering_index).
+ENGINE_BUNDLES: tuple[tuple[str, str, bool], ...] = (
+    ("lanes", "counting", True),
+    ("heap", "scan", False),
+)
+
+_MOBILITY_CHOICES = ("uniform", "hotspot", "ping-pong", "trace")
+_LOSS_CHOICES = (0.0, 0.0, 0.05, 0.2)
+_DUP_CHOICES = (0.0, 0.0, 0.05, 0.15)
+_JITTER_CHOICES = (0.0, 0.0, 5.0, 25.0)
+_TOPIC_SKEW_CHOICES = (0.0, 0.0, 0.9, 1.3)
+_HOTSPOT_EXPONENTS = (0.8, 1.2, 1.6)
+_CONN_CHOICES = (5.0, 15.0, 45.0)
+_DISC_CHOICES = (5.0, 20.0)
+_PUBLISH_CHOICES = (20.0, 45.0)
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One fuzzed configuration; fully determined by ``scenario_seed``."""
+
+    scenario_seed: int
+    protocol: str
+    grid_k: int
+    experiment_seed: int
+    clients_per_broker: int
+    mobile_fraction: float
+    mean_connected_s: float
+    mean_disconnected_s: float
+    publish_interval_s: float
+    duration_s: float
+    mobility_model: str
+    mobility_params: Mapping[str, Any] = field(default_factory=dict)
+    topic_skew: float = 0.0
+    faults: FaultProfile = field(default_factory=FaultProfile)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_seed(cls, scenario_seed: int) -> "Scenario":
+        """Deterministically sample the scenario named by ``scenario_seed``.
+
+        Uses :class:`random.Random` (whose sequence is stable across Python
+        versions for the draws used here), so a printed seed reconstructs
+        the same scenario on any machine.
+        """
+        rnd = random.Random(scenario_seed)
+        protocol = rnd.choice(PROTOCOLS)
+        grid_k = rnd.randrange(2, 5)
+        clients_per_broker = rnd.randrange(3, 6)
+        n_clients = grid_k * grid_k * clients_per_broker
+        mobility_model = rnd.choice(_MOBILITY_CHOICES)
+        mobility_params: dict[str, Any] = {}
+        if mobility_model == "hotspot":
+            mobility_params["exponent"] = rnd.choice(_HOTSPOT_EXPONENTS)
+        elif mobility_model == "trace":
+            # random walks for a random half of the population; the rest
+            # take the model's deterministic fallback walk
+            traced = rnd.sample(range(n_clients), k=n_clients // 2)
+            mobility_params["trace"] = {
+                cid: tuple(
+                    rnd.randrange(grid_k * grid_k)
+                    for _ in range(rnd.randrange(3, 7))
+                )
+                for cid in sorted(traced)
+            }
+        faults = FaultProfile(
+            deliver_loss=rnd.choice(_LOSS_CHOICES),
+            deliver_duplicate=rnd.choice(_DUP_CHOICES),
+            wireless_jitter_ms=rnd.choice(_JITTER_CHOICES),
+        )
+        return cls(
+            scenario_seed=scenario_seed,
+            protocol=protocol,
+            grid_k=grid_k,
+            experiment_seed=rnd.randrange(2**31),
+            clients_per_broker=clients_per_broker,
+            mobile_fraction=rnd.choice((0.3, 0.5)),
+            mean_connected_s=rnd.choice(_CONN_CHOICES),
+            mean_disconnected_s=rnd.choice(_DISC_CHOICES),
+            publish_interval_s=rnd.choice(_PUBLISH_CHOICES),
+            duration_s=rnd.choice((180.0, 300.0)),
+            mobility_model=mobility_model,
+            mobility_params=mobility_params,
+            topic_skew=rnd.choice(_TOPIC_SKEW_CHOICES),
+            faults=faults,
+        )
+
+    # ------------------------------------------------------------------
+    def workload(self) -> WorkloadSpec:
+        return WorkloadSpec(
+            clients_per_broker=self.clients_per_broker,
+            mobile_fraction=self.mobile_fraction,
+            mean_connected_s=self.mean_connected_s,
+            mean_disconnected_s=self.mean_disconnected_s,
+            publish_interval_s=self.publish_interval_s,
+            duration_s=self.duration_s,
+            mobility_model=self.mobility_model,
+            mobility_params=dict(self.mobility_params),
+            topic_skew=self.topic_skew,
+        )
+
+    def config(
+        self,
+        sim_engine: str = "lanes",
+        matching_engine: str = "counting",
+        covering_index: bool = True,
+    ) -> ExperimentConfig:
+        """The runnable :class:`ExperimentConfig` under one engine bundle."""
+        return ExperimentConfig(
+            protocol=self.protocol,
+            grid_k=self.grid_k,
+            seed=self.experiment_seed,
+            workload=self.workload(),
+            sim_engine=sim_engine,
+            matching_engine=matching_engine,
+            covering_index=covering_index,
+            faults=self.faults if self.faults.active else None,
+        )
+
+    def label(self) -> str:
+        return (
+            f"seed={self.scenario_seed} {self.protocol} k={self.grid_k} "
+            f"cpb={self.clients_per_broker} mob={self.mobility_model} "
+            f"skew={self.topic_skew:g} conn={self.mean_connected_s:g}s "
+            f"disc={self.mean_disconnected_s:g}s [{self.faults.label()}]"
+        )

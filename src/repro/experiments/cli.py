@@ -8,15 +8,23 @@ Usage::
 
 ``fig5a``/``fig5b`` share one sweep, as do ``fig6a``/``fig6b``; asking for
 both panels of a figure runs the sweep once.
+
+Adversarial variants of the paper sweeps: ``--loss/--dup/--jitter`` switch
+on seeded wireless fault injection (:mod:`repro.network.faults`) and
+``--mobility``/``--topic-skew`` swap the movement and topic-popularity
+models (:mod:`repro.workload.models`). All default off — the plain
+invocation reproduces the paper bit-for-bit.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import Sequence
+from typing import Any, Sequence
 
 from repro.experiments import figures, report
+from repro.network.faults import FaultProfile
+from repro.workload.models import MOBILITY_MODELS
 
 __all__ = ["main"]
 
@@ -42,7 +50,35 @@ def main(argv: Sequence[str] | None = None) -> int:
                              "processes (default: serial)")
     parser.add_argument("--raw", action="store_true",
                         help="also print the full per-run result table")
+    parser.add_argument("--loss", type=float, default=0.0, metavar="P",
+                        help="wireless delivery loss probability (default 0)")
+    parser.add_argument("--dup", type=float, default=0.0, metavar="P",
+                        help="wireless delivery duplication probability "
+                             "(default 0)")
+    parser.add_argument("--jitter", type=float, default=0.0, metavar="MS",
+                        help="max extra wireless service latency in ms "
+                             "(default 0)")
+    parser.add_argument("--mobility", default=None,
+                        choices=sorted(MOBILITY_MODELS),
+                        help="mobility model for mobile clients "
+                             "(default: the paper's uniform model)")
+    parser.add_argument("--topic-skew", type=float, default=0.0, metavar="S",
+                        help="Zipf exponent for topic popularity "
+                             "(0 = uniform, the paper's model)")
     args = parser.parse_args(argv)
+
+    faults = None
+    if args.loss or args.dup or args.jitter:
+        faults = FaultProfile(
+            deliver_loss=args.loss,
+            deliver_duplicate=args.dup,
+            wireless_jitter_ms=args.jitter,
+        )
+    overrides: dict[str, Any] = {}
+    if args.mobility is not None:
+        overrides["mobility_model"] = args.mobility
+    if args.topic_skew:
+        overrides["topic_skew"] = args.topic_skew
 
     want = {args.figure}
     if args.figure == "fig5":
@@ -55,7 +91,8 @@ def main(argv: Sequence[str] | None = None) -> int:
     out: list[str] = []
     if want & _FIG5:
         rows5 = figures.run_fig5(
-            scale=args.scale, seed=args.seed, workers=args.workers
+            scale=args.scale, seed=args.seed, workers=args.workers,
+            faults=faults, workload_overrides=overrides or None,
         )
         if "fig5a" in want:
             out.append(report.format_series(
@@ -71,7 +108,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             out.append(report.format_table(rows5, title="Figure 5 raw runs"))
     if want & _FIG6:
         rows6 = figures.run_fig6(
-            scale=args.scale, seed=args.seed, workers=args.workers
+            scale=args.scale, seed=args.seed, workers=args.workers,
+            faults=faults, workload_overrides=overrides or None,
         )
         if "fig6a" in want:
             out.append(report.format_series(

@@ -19,6 +19,7 @@ from dataclasses import dataclass, field, replace
 from typing import Any, Optional
 
 from repro.errors import ConfigurationError
+from repro.network.faults import FaultProfile
 from repro.workload.spec import WorkloadSpec
 
 __all__ = ["ExperimentConfig", "SCALES", "bench_scale"]
@@ -44,16 +45,28 @@ class ExperimentConfig:
     #: covering checks (kept for differential testing — see
     #: repro.pubsub.filter_table)
     covering_index: bool = True
+    #: broker matching implementation: 'counting' (default) or 'scan'
+    #: (legacy path, kept for differential testing — see
+    #: repro.pubsub.matching)
+    matching_engine: str = "counting"
+    #: wireless fault profile (None = perfect links; see
+    #: repro.network.faults)
+    faults: Optional[FaultProfile] = None
 
     def with_workload(self, **changes: Any) -> "ExperimentConfig":
         return replace(self, workload=replace(self.workload, **changes))
 
     def label(self) -> str:
+        fault_tag = (
+            f" {self.faults.label()}"
+            if self.faults is not None and self.faults.active
+            else ""
+        )
         return (
             f"{self.protocol} k={self.grid_k} "
             f"conn={self.workload.mean_connected_s:g}s "
             f"disc={self.workload.mean_disconnected_s:g}s "
-            f"T={self.workload.duration_s:g}s seed={self.seed}"
+            f"T={self.workload.duration_s:g}s seed={self.seed}{fault_tag}"
         )
 
 

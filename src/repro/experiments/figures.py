@@ -25,11 +25,13 @@ assembly and seeds are unaffected.
 from __future__ import annotations
 
 import multiprocessing
-from typing import Optional, Sequence
+from typing import Any, Mapping, Optional, Sequence
 
+from repro.errors import ConfigurationError
 from repro.experiments.config import SCALES, ExperimentConfig
 from repro.experiments.runner import run_experiment
 from repro.metrics.summary import ResultRow
+from repro.network.faults import FaultProfile
 from repro.workload.spec import WorkloadSpec
 
 __all__ = [
@@ -57,6 +59,22 @@ def _duration_s(base_s: float, conn_s: float, disc_s: float) -> float:
     return max(base_s, 1.2 * (conn_s + disc_s))
 
 
+def _checked_overrides(
+    overrides: Optional[Mapping[str, Any]], reserved: tuple[str, ...]
+) -> dict[str, Any]:
+    """Reject overrides of the fields the sweep itself owns (the sweep
+    variable and the scale preset) — splatting them through would raise an
+    opaque duplicate-kwarg TypeError deep inside WorkloadSpec."""
+    out = dict(overrides or {})
+    clashes = sorted(set(out) & set(reserved))
+    if clashes:
+        raise ConfigurationError(
+            f"workload_overrides may not override sweep-owned fields "
+            f"{clashes}; use the sweep parameters instead"
+        )
+    return out
+
+
 def _run_configs(
     cfgs: Sequence[ExperimentConfig], workers: Optional[int]
 ) -> list[ResultRow]:
@@ -77,18 +95,27 @@ def _sweep_conn(
     conn_periods_s: Sequence[float],
     seed: int,
     workers: Optional[int] = None,
+    faults: Optional[FaultProfile] = None,
+    workload_overrides: Optional[Mapping[str, Any]] = None,
 ) -> list[ResultRow]:
     preset = SCALES[scale]
+    overrides = _checked_overrides(
+        workload_overrides,
+        ("clients_per_broker", "mean_connected_s", "mean_disconnected_s",
+         "duration_s"),
+    )
     cfgs = [
         ExperimentConfig(
             protocol=protocol,
             grid_k=preset["grid_k"],
             seed=seed,
+            faults=faults,
             workload=WorkloadSpec(
                 clients_per_broker=preset["clients_per_broker"],
                 mean_connected_s=conn_s,
                 mean_disconnected_s=300.0,
                 duration_s=_duration_s(preset["duration_s"], conn_s, 300.0),
+                **overrides,
             ),
         )
         for conn_s in conn_periods_s
@@ -103,18 +130,27 @@ def _sweep_size(
     grid_sizes: Sequence[int],
     seed: int,
     workers: Optional[int] = None,
+    faults: Optional[FaultProfile] = None,
+    workload_overrides: Optional[Mapping[str, Any]] = None,
 ) -> list[ResultRow]:
     preset = SCALES[scale]
+    overrides = _checked_overrides(
+        workload_overrides,
+        ("clients_per_broker", "mean_connected_s", "mean_disconnected_s",
+         "duration_s"),
+    )
     cfgs = [
         ExperimentConfig(
             protocol=protocol,
             grid_k=k,
             seed=seed,
+            faults=faults,
             workload=WorkloadSpec(
                 clients_per_broker=preset["clients_per_broker"],
                 mean_connected_s=300.0,
                 mean_disconnected_s=300.0,
                 duration_s=_duration_s(preset["duration_s"], 300.0, 300.0),
+                **overrides,
             ),
         )
         for k in grid_sizes
@@ -132,15 +168,20 @@ def run_fig5(
     conn_periods_s: Optional[Sequence[float]] = None,
     seed: int = 1,
     workers: Optional[int] = None,
+    faults: Optional[FaultProfile] = None,
+    workload_overrides: Optional[Mapping[str, Any]] = None,
 ) -> list[ResultRow]:
     """Both panels of Figure 5 share one sweep; run it once.
 
     ``workers=N`` fans the (protocol, connection-period) runs out over N
-    processes; rows come back in the serial loop's order.
+    processes; rows come back in the serial loop's order. ``faults`` and
+    ``workload_overrides`` (extra :class:`WorkloadSpec` fields — e.g. a
+    mobility model or topic skew) turn the paper sweep into an adversarial
+    variant; both default to the paper's exact setup.
     """
     return _sweep_conn(
         scale, protocols, conn_periods_s or CONN_PERIOD_SWEEP_S, seed,
-        workers=workers,
+        workers=workers, faults=faults, workload_overrides=workload_overrides,
     )
 
 
@@ -150,14 +191,18 @@ def run_fig6(
     grid_sizes: Optional[Sequence[int]] = None,
     seed: int = 1,
     workers: Optional[int] = None,
+    faults: Optional[FaultProfile] = None,
+    workload_overrides: Optional[Mapping[str, Any]] = None,
 ) -> list[ResultRow]:
     """Both panels of Figure 6 share one sweep; run it once.
 
     ``workers=N`` fans the (protocol, grid-size) runs out over N processes;
-    rows come back in the serial loop's order.
+    rows come back in the serial loop's order. ``faults`` /
+    ``workload_overrides`` behave as in :func:`run_fig5`.
     """
     return _sweep_size(
-        scale, protocols, grid_sizes or GRID_SIZE_SWEEP, seed, workers=workers
+        scale, protocols, grid_sizes or GRID_SIZE_SWEEP, seed, workers=workers,
+        faults=faults, workload_overrides=workload_overrides,
     )
 
 

@@ -25,7 +25,7 @@ from repro.metrics.summary import ResultRow, summarize
 from repro.pubsub.system import PubSubSystem
 from repro.workload.mobility_model import Workload
 
-__all__ = ["run_experiment", "build_system"]
+__all__ = ["run_experiment", "build_system", "drain_to_quiescence"]
 
 
 def build_system(cfg: ExperimentConfig) -> tuple[PubSubSystem, Workload]:
@@ -38,6 +38,8 @@ def build_system(cfg: ExperimentConfig) -> tuple[PubSubSystem, Workload]:
         migration_batch_size=cfg.migration_batch_size,
         sim_engine=cfg.sim_engine,
         covering_index=cfg.covering_index,
+        matching_engine=cfg.matching_engine,
+        faults=cfg.faults,
     )
     workload = Workload(system, cfg.workload)
     return system, workload
@@ -62,7 +64,7 @@ def run_experiment(cfg: ExperimentConfig) -> ResultRow:
     # delay filled in by drain-phase deliveries
     system.metrics.handoffs.discard_open()
 
-    _drain(system, workload, cfg.drain_limit_ms)
+    drain_to_quiescence(system, workload, cfg.drain_limit_ms)
 
     row = summarize(
         cfg.protocol,
@@ -88,10 +90,10 @@ def run_experiment(cfg: ExperimentConfig) -> ResultRow:
     return row
 
 
-def _drain(
+def drain_to_quiescence(
     system: PubSubSystem,
     workload: Workload,
-    drain_limit_ms: Optional[float],
+    drain_limit_ms: Optional[float] = None,
 ) -> None:
     """Reconnect everyone and run until the system is empty and quiescent."""
     deadline = (

@@ -7,6 +7,14 @@ the overhead metric adds up the categories in
 Wireless transmissions are tallied separately and excluded from overhead for
 all protocols alike (final delivery over the air happens identically in each
 protocol).
+
+When wireless fault injection is on (:mod:`repro.network.faults`) the meter
+also keeps per-category and per-link fault ledgers: dropped transmissions
+(the send was accounted as a wireless message — the frame went out and was
+lost) and duplicate copies handed to receivers (which are *not* extra
+accounted transmissions — the copy is a link-layer retransmit of an already
+counted frame). The conformance fuzzer reconciles these ledgers against the
+delivery oracle's loss and duplicate counters.
 """
 
 from __future__ import annotations
@@ -25,6 +33,13 @@ class TrafficMeter:
     def __init__(self) -> None:
         self.wired_hops: defaultdict[str, int] = defaultdict(int)
         self.wireless_msgs: defaultdict[str, int] = defaultdict(int)
+        # injected-fault ledgers (all zero unless fault injection is on)
+        self.wireless_dropped: defaultdict[str, int] = defaultdict(int)
+        self.wireless_duplicated: defaultdict[str, int] = defaultdict(int)
+        #: (client, direction) -> counts, per fault kind
+        self.faults_by_link: defaultdict[tuple[str, int, str], int] = (
+            defaultdict(int)
+        )
 
     # Signature matches repro.network.links.AccountFn.
     def account(self, category: str, hops: int, wireless: bool) -> None:
@@ -33,9 +48,36 @@ class TrafficMeter:
         else:
             self.wired_hops[category] += hops
 
+    # Signature matches repro.network.faults.LinkFaultInjector.account_fault.
+    def account_fault(
+        self, kind: str, category: str, client: int, direction: str
+    ) -> None:
+        """Record one injected fault (``kind`` is ``"drop"`` or ``"dup"``)."""
+        if kind == "drop":
+            self.wireless_dropped[category] += 1
+        else:
+            self.wireless_duplicated[category] += 1
+        self.faults_by_link[(kind, client, direction)] += 1
+
     # ------------------------------------------------------------------
     def total_wired(self) -> int:
         return sum(self.wired_hops.values())
+
+    def total_dropped(self) -> int:
+        """Total wireless transmissions discarded by fault injection."""
+        return sum(self.wireless_dropped.values())
+
+    def total_duplicated(self) -> int:
+        """Total duplicate wireless copies injected by fault injection."""
+        return sum(self.wireless_duplicated.values())
+
+    def link_fault_counts(self, kind: str) -> dict[tuple[int, str], int]:
+        """Per-(client, direction) counts of one fault kind."""
+        return {
+            (client, direction): n
+            for (k, client, direction), n in self.faults_by_link.items()
+            if k == kind
+        }
 
     def overhead_hops(
         self, categories: Iterable[str] = OVERHEAD_CATEGORIES
@@ -49,6 +91,9 @@ class TrafficMeter:
     def reset(self) -> None:
         self.wired_hops.clear()
         self.wireless_msgs.clear()
+        self.wireless_dropped.clear()
+        self.wireless_duplicated.clear()
+        self.faults_by_link.clear()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         cats = ", ".join(f"{k}={v}" for k, v in sorted(self.wired_hops.items()))

@@ -1,0 +1,179 @@
+"""Wireless fault injection: seeded loss, duplication and jitter.
+
+The paper's evaluation (§5.1) runs over perfect links; real wireless
+channels lose frames, deliver retransmitted copies twice, and serve at a
+variable rate. This module adds those behaviours to the link layer as
+*deterministic, seeded* knobs so adversarial scenarios stay replayable and
+the delivery oracle stays exact:
+
+* **loss** — an eligible downlink transmission is silently discarded with
+  probability ``deliver_loss``. Every discard is reported through
+  ``on_drop`` so the :class:`~repro.metrics.delivery.DeliveryChecker` can
+  account it explicitly: under faults the reliability invariant for
+  reliable protocols becomes ``expected == delivered + link_losses``
+  (nothing goes *unaccounted*).
+* **duplication** — with probability ``deliver_duplicate`` the receiver
+  gets a second copy immediately after the first (a link-layer
+  retransmission whose ack was lost). The copy is handed over in the same
+  instant as the original, so it can neither be reordered ahead of older
+  traffic nor be reclaimed by protocol queue surgery — injected duplicates
+  are exactly the duplicates the checker counts.
+* **jitter** — each wireless transmission's service time is stretched by a
+  uniform draw from ``[0, wireless_jitter_ms]``. The channel stays a serial
+  FIFO (the next message starts only when the current one finishes), so
+  per-link ordering — which several protocol correctness arguments rest on
+  — is preserved; only timing shifts.
+
+Faults only ever apply to the *wireless* edge. Wired broker-broker links
+stay perfect: their constant-latency FIFO property underpins protocol
+correctness proofs (TQ capture, ack-triggered label deletion), and the
+paper's wired backbone is not the lossy medium. Loss and duplication are
+further restricted to cargo the caller marks *droppable* — the system
+marks final event deliveries (``DeliverMessage``) and nothing else,
+modelling control traffic riding the link layer's ARQ while data
+notifications take the unreliable path. This keeps every protocol live
+under faults (a lost ``ConnectMessage`` would wedge a handoff forever,
+which no amount of accounting could make checkable).
+
+Everything is off by default (:attr:`FaultProfile.active` is False for the
+default profile), and an inactive profile injects **nothing** — no RNG
+draws, no scheduling changes — so fault-free runs remain bit-identical to
+the seed figures.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+import numpy as np
+
+from repro.util.validation import check_non_negative, check_probability
+
+__all__ = ["FaultProfile", "LinkFaultInjector", "FAULT_FREE"]
+
+#: direction tags used in per-link fault accounting keys
+DOWNLINK = "down"
+UPLINK = "up"
+
+
+@dataclass(frozen=True)
+class FaultProfile:
+    """Wireless fault knobs for one run. Immutable; picklable; default off."""
+
+    #: P(an eligible downlink transmission is discarded)
+    deliver_loss: float = 0.0
+    #: P(an eligible downlink transmission arrives twice)
+    deliver_duplicate: float = 0.0
+    #: max extra service latency per wireless transmission (uniform draw, ms)
+    wireless_jitter_ms: float = 0.0
+
+    def __post_init__(self) -> None:
+        check_probability("deliver_loss", self.deliver_loss)
+        check_probability("deliver_duplicate", self.deliver_duplicate)
+        check_non_negative("wireless_jitter_ms", self.wireless_jitter_ms)
+
+    @property
+    def active(self) -> bool:
+        """True if any knob is non-zero (an inactive profile injects nothing)."""
+        return (
+            self.deliver_loss > 0.0
+            or self.deliver_duplicate > 0.0
+            or self.wireless_jitter_ms > 0.0
+        )
+
+    def label(self) -> str:
+        if not self.active:
+            return "faults=off"
+        return (
+            f"loss={self.deliver_loss:g} dup={self.deliver_duplicate:g} "
+            f"jitter={self.wireless_jitter_ms:g}ms"
+        )
+
+
+#: shared default profile: everything off
+FAULT_FREE = FaultProfile()
+
+
+class LinkFaultInjector:
+    """Draws and accounts the fault fate of every wireless transmission.
+
+    The injector is deliberately ignorant of message types: the system
+    supplies ``droppable`` (which payloads may be lost/duplicated) and
+    ``on_drop`` (how a discard is reported to the delivery oracle), keeping
+    the network layer free of pub/sub imports.
+
+    All draws come from one seeded stream in event-execution order, so a
+    scenario replays byte-identically from its seed — across both scheduler
+    engines, both matching engines, and the covering-index toggle, because
+    all of those are event-order-identical.
+    """
+
+    def __init__(
+        self,
+        profile: FaultProfile,
+        rng: np.random.Generator,
+        droppable: Callable[[Any], bool],
+        on_drop: Callable[[Any], None],
+    ) -> None:
+        self.profile = profile
+        self.rng = rng
+        self.droppable = droppable
+        self.on_drop = on_drop
+        #: discarded eligible transmissions, total and per (client, direction)
+        self.drops = 0
+        self.drops_by_link: defaultdict[tuple[int, str], int] = defaultdict(int)
+        #: duplicate copies handed to receivers, total and per link
+        self.dups_delivered = 0
+        self.dups_by_link: defaultdict[tuple[int, str], int] = defaultdict(int)
+        #: observer for per-category surfacing (metrics.traffic); optional
+        self.account_fault: Optional[Callable[[str, str, int, str], None]] = None
+
+    # ------------------------------------------------------------------
+    # hooks called by the wireless channel
+    # ------------------------------------------------------------------
+    def fate(self, payload: Any, client: int, direction: str) -> str:
+        """Decide this transmission's fate: ``"ok"``, ``"drop"`` or ``"dup"``.
+
+        Called once per eligible send, *before* the payload enters the
+        channel. Ineligible payloads consume no randomness.
+        """
+        p = self.profile
+        if not (p.deliver_loss or p.deliver_duplicate):
+            return "ok"
+        if direction != DOWNLINK or not self.droppable(payload):
+            return "ok"
+        u = float(self.rng.random())
+        if u < p.deliver_loss:
+            self.drops += 1
+            self.drops_by_link[(client, direction)] += 1
+            if self.account_fault is not None:
+                self.account_fault(
+                    "drop", getattr(payload, "category", "?"), client, direction
+                )
+            self.on_drop(payload)
+            return "drop"
+        if p.deliver_duplicate and float(self.rng.random()) < p.deliver_duplicate:
+            return "dup"
+        return "ok"
+
+    def dup_delivered(self, payload: Any, client: int, direction: str) -> None:
+        """Account one duplicate copy handed to a receiver."""
+        self.dups_delivered += 1
+        self.dups_by_link[(client, direction)] += 1
+        if self.account_fault is not None:
+            self.account_fault(
+                "dup", getattr(payload, "category", "?"), client, direction
+            )
+
+    def jitter(self) -> float:
+        """Extra service latency for one wireless transmission (ms)."""
+        j = self.profile.wireless_jitter_ms
+        if j <= 0.0:
+            return 0.0
+        return float(self.rng.uniform(0.0, j))
+
+    @property
+    def jitters(self) -> bool:
+        return self.profile.wireless_jitter_ms > 0.0

@@ -28,6 +28,14 @@ rides the scheduler's O(1) lane fast path: one lane for wired hops, one per
 wireless latency, one per unicast hop count. The scheduler's merged
 ``(time, seq)`` order keeps the FIFO guarantees stated above bit-for-bit
 identical to the heap engine.
+
+The wireless edge optionally takes a :class:`~repro.network.faults.
+LinkFaultInjector` (loss / duplication / jitter — see that module for the
+fault model and why wired links stay perfect). With no injector — the
+default — every code path below is byte-identical to the fault-free link
+layer: no extra branches fire, no randomness is drawn, and jittered
+(variable-latency) service is the only case that leaves the lane fast path
+for the general heap.
 """
 
 from __future__ import annotations
@@ -36,6 +44,7 @@ from collections import deque
 from typing import Any, Callable, Optional
 
 from repro.errors import RoutingError
+from repro.network.faults import DOWNLINK, UPLINK, LinkFaultInjector
 from repro.network.paths import ShortestPaths
 from repro.network.topology import Topology
 from repro.sim.core import Simulator
@@ -59,12 +68,36 @@ class _WirelessChannel:
     One message occupies the channel for ``latency`` ms; others queue behind
     it. ``cancel_pending`` reclaims the queued (not in-service) messages in
     order — used by MHH when a client disconnects mid-backlog-drain.
+
+    With a fault injector attached, each send may be discarded (loss) or
+    flagged for a second handover (duplication), and each service slot may
+    be stretched (jitter); the channel remains a serial FIFO throughout.
+    The duplicate copy is handed over in the same instant as the original,
+    directly after it — it never sits in ``queue``, so it cannot be
+    reclaimed by ``cancel_pending`` and cannot overtake older traffic.
     """
 
-    __slots__ = ("sim", "latency", "deliver", "queue", "busy_until", "_in_service")
+    __slots__ = (
+        "sim",
+        "latency",
+        "deliver",
+        "queue",
+        "busy_until",
+        "_in_service",
+        "faults",
+        "client",
+        "direction",
+        "_dup_ids",
+    )
 
     def __init__(
-        self, sim: Simulator, latency: float, deliver: Callable[[Any], None]
+        self,
+        sim: Simulator,
+        latency: float,
+        deliver: Callable[[Any], None],
+        faults: Optional[LinkFaultInjector] = None,
+        client: int = -1,
+        direction: str = DOWNLINK,
     ) -> None:
         self.sim = sim
         self.latency = latency
@@ -72,8 +105,25 @@ class _WirelessChannel:
         self.queue: deque[Any] = deque()
         self.busy_until = 0.0
         self._in_service: Any = None
+        self.faults = faults
+        self.client = client
+        self.direction = direction
+        # id()s of in-channel messages flagged for duplicate handover; ids
+        # are stable here because the message object is referenced by the
+        # channel until its _finish removes the flag
+        self._dup_ids: set[int] = set()
 
     def send(self, msg: Any) -> None:
+        if self.faults is not None:
+            fate = self.faults.fate(msg, self.client, self.direction)
+            if fate == "drop":
+                # drop any stale dup flag (a reclaimed-and-resent message
+                # keeps its object identity; never let a discarded id linger
+                # to collide with a recycled one)
+                self._dup_ids.discard(id(msg))
+                return
+            if fate == "dup":
+                self._dup_ids.add(id(msg))
         if self._in_service is None and self.sim.now >= self.busy_until:
             self._start(msg)
         else:
@@ -83,12 +133,25 @@ class _WirelessChannel:
         # the in-service message always completes (cancel_pending reclaims
         # only the queue), so the non-cancellable lane path applies
         self._in_service = msg
-        self.busy_until = self.sim.now + self.latency
-        self.sim.schedule_fifo(self.latency, self._finish, msg)
+        latency = self.latency
+        if self.faults is not None and self.faults.jitters:
+            # variable latency would mint a lane per distinct delay; take
+            # the general heap path instead (same (time, seq) order)
+            latency += self.faults.jitter()
+            self.busy_until = self.sim.now + latency
+            self.sim.schedule(latency, self._finish, msg)
+            return
+        self.busy_until = self.sim.now + latency
+        self.sim.schedule_fifo(latency, self._finish, msg)
 
     def _finish(self, msg: Any) -> None:
         self._in_service = None
         self.deliver(msg)
+        if self.faults is not None and self._dup_ids:
+            if id(msg) in self._dup_ids:
+                self._dup_ids.discard(id(msg))
+                self.faults.dup_delivered(msg, self.client, self.direction)
+                self.deliver(msg)
         if self.queue:
             self._start(self.queue.popleft())
 
@@ -96,6 +159,12 @@ class _WirelessChannel:
         """Reclaim queued messages (in order). The in-service one completes."""
         pending = list(self.queue)
         self.queue.clear()
+        if self._dup_ids and pending:
+            # reclaimed messages leave the channel; their pending dup
+            # injections evaporate with them (the duplicate ledger counts
+            # delivered copies only, so nothing needs accounting here)
+            for msg in pending:
+                self._dup_ids.discard(id(msg))
         return pending
 
     @property
@@ -120,6 +189,7 @@ class LinkLayer:
         wireless_latency: float = WIRELESS_LATENCY_MS,
         account: Optional[AccountFn] = None,
         unicast_hops: Optional[Callable[[int, int], int]] = None,
+        faults: Optional[LinkFaultInjector] = None,
     ) -> None:
         self.sim = sim
         self.topo = topo
@@ -127,6 +197,8 @@ class LinkLayer:
         self.wired_latency = wired_latency
         self.wireless_latency = wireless_latency
         self.account: AccountFn = account or _no_account
+        #: wireless fault injector (None = perfect links, the default)
+        self.faults = faults
         # hop metric for multi-hop unicast; defaults to grid shortest paths
         # (paper §5.1); the tree-routing ablation overrides it
         self._unicast_hops = unicast_hops or paths.hop_count
@@ -147,10 +219,20 @@ class LinkLayer:
     def register_client(self, client_id: int, rx: Callable[[Any], None]) -> None:
         self._client_rx[client_id] = rx
         self._downlinks[client_id] = _WirelessChannel(
-            self.sim, self.wireless_latency, rx
+            self.sim,
+            self.wireless_latency,
+            rx,
+            faults=self.faults,
+            client=client_id,
+            direction=DOWNLINK,
         )
         self._uplinks[client_id] = _WirelessChannel(
-            self.sim, self.wireless_latency, self._deliver_uplink
+            self.sim,
+            self.wireless_latency,
+            self._deliver_uplink,
+            faults=self.faults,
+            client=client_id,
+            direction=UPLINK,
         )
 
     # ------------------------------------------------------------------

@@ -19,6 +19,7 @@ from typing import Callable, Optional, Union, TYPE_CHECKING
 
 from repro.errors import ConfigurationError
 from repro.metrics.hub import MetricsHub
+from repro.network.faults import FaultProfile, LinkFaultInjector
 from repro.network.links import (
     LinkLayer,
     WIRED_LATENCY_MS,
@@ -70,6 +71,7 @@ class PubSubSystem:
         matching_engine: str = "counting",
         sim_engine: str = "lanes",
         covering_index: bool = True,
+        faults: Optional[FaultProfile] = None,
     ) -> None:
         if grid_k <= 0 and topology is None:
             raise ConfigurationError(f"grid_k must be >= 1, got {grid_k}")
@@ -129,6 +131,32 @@ class PubSubSystem:
         #: 'grid' (paper §5.1: stations talk via shortest paths) or 'tree'
         #: (route point-to-point traffic over the overlay too — ablation)
         self.unicast_routing = unicast_routing
+
+        #: wireless fault profile (None / inactive = perfect links; the
+        #: injector is only built for an *active* profile so fault-free
+        #: runs stay bit-identical to the seed behaviour)
+        self.faults = faults
+        self.fault_injector: Optional[LinkFaultInjector] = None
+        if faults is not None and faults.active:
+            from repro.pubsub.messages import DeliverMessage
+
+            def _droppable(payload: object) -> bool:
+                # only final event deliveries ride the unreliable path;
+                # control traffic uses the link-layer ARQ (see
+                # repro.network.faults)
+                return type(payload) is DeliverMessage
+
+            def _on_drop(payload: "DeliverMessage") -> None:
+                self.metrics.on_loss(payload.client, payload.event)
+
+            self.fault_injector = LinkFaultInjector(
+                faults,
+                rng=self.streams.stream("faults/wireless"),
+                droppable=_droppable,
+                on_drop=_on_drop,
+            )
+            self.fault_injector.account_fault = self.metrics.traffic.account_fault
+
         self.links = LinkLayer(
             self.sim,
             self.topology,
@@ -139,6 +167,7 @@ class PubSubSystem:
             unicast_hops=(
                 self.tree.distance if unicast_routing == "tree" else None
             ),
+            faults=self.fault_injector,
         )
 
         self.brokers: dict[int, Broker] = {}

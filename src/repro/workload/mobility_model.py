@@ -6,12 +6,18 @@ is randomly chosen from all base stations. The lengths of connection
 periods and disconnection periods for mobile clients are random variables
 that satisfy the exponential distribution."
 
+The *timing* above is fixed; *where* a client reconnects and *which*
+topics publishers favour are pluggable (``WorkloadSpec.mobility_model`` /
+``topic_skew``, resolved through :mod:`repro.workload.models`). The
+defaults make exactly the draws the paper's code made, so seeded default
+runs are bit-identical.
+
 Publishing: every client publishes at exponential intervals (mean five
 minutes) while connected; publishes that would fall into a disconnection
 period are skipped (a detached device cannot publish). Topics are uniform
-floats in ``[0, 1)`` on the primary ``topic`` attribute; subscriptions are
-contiguous topic ranges, so on the broker side each published event is
-resolved by the broker-wide counting engine
+floats in ``[0, 1)`` on the primary ``topic`` attribute (Zipf-sliced when
+skew is on); subscriptions are contiguous topic ranges, so on the broker
+side each published event is resolved by the broker-wide counting engine
 (:mod:`repro.pubsub.matching`) — per-group interval stabs decide which
 neighbours to forward to and the counting pass picks the matching client
 entries, both in one pass per broker hop.
@@ -28,6 +34,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING
 
 from repro.sim.process import Process, spawn
+from repro.workload.models import TopicSampler, make_mobility_model
 from repro.workload.spec import SECONDS, WorkloadSpec
 from repro.workload.generator import build_population
 
@@ -49,6 +56,11 @@ class Workload:
     def __init__(self, system: "PubSubSystem", spec: WorkloadSpec) -> None:
         self.system = system
         self.spec = spec
+        self.mobility = make_mobility_model(
+            spec.mobility_model, spec.mobility_params
+        )
+        self.mobility.bind(system)
+        self.topics = TopicSampler(spec.topic_skew, spec.topic_bins)
         self.static_clients, self.mobile_clients = build_population(system, spec)
         self._processes: list[Process] = []
         self._stopped = False
@@ -86,13 +98,12 @@ class Workload:
             if self._stopped:
                 return
             if client.connected:
-                client.publish(topic=float(rng.uniform()))
+                client.publish(topic=self.topics.draw(rng))
 
     def _mover(self, client: "Client"):
         rng = self.system.streams.stream(f"workload/mobility/{client.id}")
         conn_ms = self.spec.mean_connected_s * SECONDS
         disc_ms = self.spec.mean_disconnected_s * SECONDS
-        n = self.system.broker_count
         while True:
             yield float(rng.exponential(conn_ms))
             if self._stopped:
@@ -102,7 +113,7 @@ class Workload:
             if self._stopped:
                 # leave the client disconnected; the drain phase reconnects it
                 return
-            client.connect(int(rng.integers(n)))
+            client.connect(self.mobility.next_broker(rng, client))
 
     # ------------------------------------------------------------------
     def stop(self) -> None:

@@ -1,0 +1,207 @@
+"""The conformance fuzzer: seed-determinism, replay, invariant detection."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.conformance.fuzzer import (
+    FuzzReport,
+    ScenarioFuzzer,
+    ScenarioOutcome,
+    ScenarioResult,
+    check_invariants,
+    compare_outcomes,
+    main,
+    run_scenario,
+)
+from repro.conformance.scenarios import ENGINE_BUNDLES, PROTOCOLS, Scenario
+
+
+def quick_seed(predicate, start=0):
+    """First scenario seed whose sampled scenario satisfies ``predicate``
+    (sampling is cheap — no simulation runs)."""
+    for seed in range(start, start + 5000):
+        if predicate(Scenario.from_seed(seed)):
+            return seed
+    raise AssertionError("no matching scenario seed found")
+
+
+def small(s):
+    return (
+        s.grid_k == 2 and s.clients_per_broker == 3 and s.duration_s == 180.0
+    )
+
+
+# ---------------------------------------------------------------------------
+# scenario sampling
+# ---------------------------------------------------------------------------
+def test_from_seed_is_deterministic():
+    for seed in (0, 1, 12345, 2**31 - 1):
+        assert Scenario.from_seed(seed) == Scenario.from_seed(seed)
+
+
+def test_scenario_space_reaches_every_dimension():
+    scenarios = [Scenario.from_seed(s) for s in range(300)]
+    assert {s.protocol for s in scenarios} == set(PROTOCOLS)
+    assert {s.mobility_model for s in scenarios} == {
+        "uniform", "hotspot", "ping-pong", "trace"
+    }
+    assert any(s.faults.active for s in scenarios)
+    assert any(not s.faults.active for s in scenarios)
+    assert any(s.topic_skew > 0 for s in scenarios)
+
+
+def test_label_carries_the_replay_seed():
+    s = Scenario.from_seed(77)
+    assert "seed=77" in s.label()
+    assert s.protocol in s.label()
+
+
+def test_scenario_seeds_derive_from_master_seed():
+    a = ScenarioFuzzer(n_scenarios=10, master_seed=4).scenario_seeds()
+    b = ScenarioFuzzer(n_scenarios=10, master_seed=4).scenario_seeds()
+    c = ScenarioFuzzer(n_scenarios=10, master_seed=5).scenario_seeds()
+    assert a == b != c
+    assert len(set(a)) == 10
+
+
+# ---------------------------------------------------------------------------
+# replay determinism
+# ---------------------------------------------------------------------------
+def test_run_scenario_replays_byte_identically():
+    seed = quick_seed(lambda s: small(s) and s.faults.active)
+    scenario = Scenario.from_seed(seed)
+    a = run_scenario(scenario, *ENGINE_BUNDLES[0])
+    b = run_scenario(scenario, *ENGINE_BUNDLES[0])
+    assert a == b
+    assert a.delivery_log  # something actually happened
+
+
+def test_fuzzer_run_one_passes_on_a_small_scenario():
+    seed = quick_seed(lambda s: small(s) and s.protocol == "mhh")
+    result = ScenarioFuzzer(cross_engine=True).run_one(seed)
+    assert result.passed, result.violations
+
+
+# ---------------------------------------------------------------------------
+# invariant matrix detects violations
+# ---------------------------------------------------------------------------
+def outcome(**kw):
+    base = dict(
+        engine_bundle=ENGINE_BUNDLES[0],
+        published=10,
+        expected=20,
+        delivered=20,
+        duplicates=0,
+        order_violations=0,
+        lost=0,
+        missing=0,
+        handoffs=3,
+        injected_drops=0,
+        injected_dups=0,
+        meter_drops=0,
+        meter_dups=0,
+        sim_events=1000,
+    )
+    base.update(kw)
+    return ScenarioOutcome(**base)
+
+
+def scenario_for(protocol):
+    seed = quick_seed(lambda s: s.protocol == protocol)
+    return Scenario.from_seed(seed)
+
+
+def test_clean_outcome_is_conformant():
+    assert check_invariants(scenario_for("mhh"), outcome()) == []
+
+
+def test_missing_deliveries_flagged_for_every_protocol():
+    for protocol in PROTOCOLS:
+        v = check_invariants(scenario_for(protocol), outcome(missing=2))
+        assert any("missing=2" in x for x in v)
+
+
+def test_reliable_protocol_must_lose_exactly_the_link_drops():
+    scenario = scenario_for("sub-unsub")
+    v = check_invariants(
+        scenario, outcome(lost=3, injected_drops=2, meter_drops=2)
+    )
+    assert any("lose exactly" in x for x in v)
+
+
+def test_home_broker_may_lose_more_but_not_less_than_link_drops():
+    scenario = scenario_for("home-broker")
+    ok = outcome(lost=5, injected_drops=2, meter_drops=2, delivered=15,
+                 missing=0)
+    assert check_invariants(scenario, ok) == []
+    v = check_invariants(
+        scenario, outcome(lost=1, injected_drops=2, meter_drops=2)
+    )
+    assert any("escaped the accounting" in x for x in v)
+
+
+def test_order_violations_flagged_only_for_reliable_protocols():
+    bad = outcome(order_violations=1)
+    assert any(
+        "order" in x for x in check_invariants(scenario_for("two-phase"), bad)
+    )
+    assert check_invariants(scenario_for("home-broker"), bad) == []
+
+
+def test_unexplained_duplicates_flagged():
+    v = check_invariants(scenario_for("mhh"), outcome(duplicates=1))
+    assert any("duplicates=1" in x for x in v)
+
+
+def test_meter_ledger_must_match_injector():
+    v = check_invariants(
+        scenario_for("mhh"),
+        outcome(lost=2, injected_drops=2, meter_drops=1),
+    )
+    assert any("meter drop ledger" in x for x in v)
+
+
+def test_cross_engine_divergence_detected():
+    a = outcome(delivery_log=((1, 2, 3.0), (4, 5, 6.0)))
+    b = outcome(delivery_log=((1, 2, 3.0), (4, 5, 7.0)))
+    v = compare_outcomes(a, b)
+    assert any("delivery log diverged at entry 1" in x for x in v)
+    v = compare_outcomes(outcome(), outcome(sim_events=999))
+    assert any("sim_events diverged" in x for x in v)
+    assert compare_outcomes(outcome(), outcome()) == []
+
+
+# ---------------------------------------------------------------------------
+# report + CLI
+# ---------------------------------------------------------------------------
+def test_report_round_trips_to_json(tmp_path):
+    report = FuzzReport(
+        master_seed=1,
+        results=[
+            ScenarioResult(5, "mhh", "seed=5 mhh k=2", []),
+            ScenarioResult(6, "home-broker", "seed=6 home-broker k=3",
+                           ["missing=1"]),
+        ],
+    )
+    assert not report.passed
+    assert [r.seed for r in report.failures] == [6]
+    assert report.protocol_counts() == {"mhh": 1, "home-broker": 1}
+    blob = json.dumps(report.as_dict())
+    parsed = json.loads(blob)
+    assert parsed["scenarios"][1]["replay"].endswith("--scenario-seed 6")
+
+
+def test_cli_replays_single_scenario(tmp_path, capsys):
+    seed = quick_seed(small)
+    out = tmp_path / "fuzz.json"
+    rc = main([
+        "--scenario-seed", str(seed), "--no-cross-engine", "--out", str(out)
+    ])
+    captured = capsys.readouterr().out
+    assert rc == 0
+    assert f"PASS seed={seed}" in captured
+    parsed = json.loads(out.read_text())
+    assert parsed["passed"] is True
+    assert parsed["scenarios"][0]["seed"] == seed

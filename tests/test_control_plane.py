@@ -333,3 +333,52 @@ def test_churn_storm_all_modes_agree(protocol, covering):
         assert outcome == baseline, f"{mode} diverged from (counting, True)"
     # the storm must actually have exercised delivery
     assert baseline[0] > 0
+
+
+@pytest.mark.parametrize("protocol", ["sub-unsub", "mhh", "home-broker"])
+def test_entries_for_client_differential_under_system_churn(protocol):
+    """The client->entries map must equal a full-table scan at every broker
+    after every step of a live connect/handoff/withdraw storm (pins the
+    PR 3 index against real protocol churn, not just synthetic table ops:
+    sub-unsub's epoch overlap creates the multi-entry case, handoffs and
+    withdrawals exercise removal)."""
+    system = PubSubSystem(grid_k=3, protocol=protocol, seed=13)
+    rnd = random.Random(99)
+    subs = [
+        system.add_client(
+            RangeFilter(rnd.uniform(0.0, 0.5), rnd.uniform(0.5, 1.0)),
+            broker=rnd.randrange(9),
+            mobile=True,
+        )
+        for _ in range(5)
+    ]
+    for c in subs:
+        c.connect(c.home_broker)
+    system.run(until=1500.0)
+    client_ids = [c.id for c in subs]
+
+    def assert_index_matches_scan():
+        for broker in system.brokers.values():
+            table = broker.table
+            for cid in client_ids:
+                got = table.entries_for_client(cid)
+                want = [e for e in table.clients.values() if e.client == cid]
+                assert got == want, (broker.id, cid)
+
+    now = 1500.0
+    for _step in range(30):
+        for sub in subs:
+            roll = rnd.random()
+            if sub.connected and roll < 0.4:
+                sub.disconnect()
+            elif not sub.connected and roll < 0.8:
+                sub.connect(rnd.randrange(9))
+        now += rnd.choice([40.0, 200.0, 900.0])
+        system.run(until=now)
+        assert_index_matches_scan()
+    for sub in subs:
+        if not sub.connected:
+            sub.connect(sub.last_broker if sub.last_broker is not None
+                        else sub.home_broker)
+    system.sim.run()
+    assert_index_matches_scan()

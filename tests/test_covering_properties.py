@@ -1,0 +1,111 @@
+"""Property tests for ``reduce_by_covering``.
+
+These pin the de-quadratic rewrite's semantics against an independently
+written quadratic oracle on randomized filter sets that deliberately
+include equal filters (mutual covering — the tie-break path), nested
+ranges, disjoint ranges and conservative conjunctions.
+"""
+
+import random
+
+import pytest
+
+from repro.pubsub.covering import covers, reduce_by_covering
+from repro.pubsub.filters import (
+    AttributeConstraint,
+    ConjunctionFilter,
+    Op,
+    RangeFilter,
+)
+
+
+def quadratic_oracle(filters):
+    """The documented semantics, written as the naive O(n^2) scan:
+    keep a filter unless some *other* entry covers it and that entry either
+    strictly covers it (no mutual cover) or wins the repr-key tie-break."""
+    kept = {}
+    for key, f in filters.items():
+        covered = False
+        for other_key, other in filters.items():
+            if other_key == key or not other.covers(f):
+                continue
+            if not f.covers(other) or repr(other_key) < repr(key):
+                covered = True
+                break
+        if not covered:
+            kept[key] = f
+    return kept
+
+
+def random_filter(rnd):
+    """Filters on a coarse lattice, so nesting/equality/mutual covering all
+    occur often; a sprinkle of conjunctions exercises the conservative
+    covering path."""
+    if rnd.random() < 0.25:
+        attr = rnd.choice(("topic", "kind"))
+        lo = rnd.randrange(0, 8) / 8.0
+        hi = min(1.0, lo + rnd.randrange(0, 5) / 8.0)
+        return ConjunctionFilter(
+            [AttributeConstraint(attr, Op.RANGE, (lo, hi))]
+        )
+    lo = rnd.randrange(0, 8) / 8.0
+    return RangeFilter(lo, min(1.0, lo + rnd.randrange(0, 5) / 8.0))
+
+
+def random_filter_map(rnd, n):
+    keys = rnd.sample(range(100), k=n)
+    return {key: random_filter(rnd) for key in keys}
+
+
+@pytest.mark.parametrize("seed", range(25))
+def test_reduction_equals_quadratic_oracle(seed):
+    rnd = random.Random(seed)
+    filters = random_filter_map(rnd, rnd.randrange(1, 25))
+    assert reduce_by_covering(filters) == quadratic_oracle(filters)
+
+
+@pytest.mark.parametrize("seed", range(15))
+def test_reduction_is_insertion_order_insensitive(seed):
+    rnd = random.Random(1000 + seed)
+    filters = random_filter_map(rnd, 18)
+    want = reduce_by_covering(filters)
+    items = list(filters.items())
+    for _ in range(4):
+        rnd.shuffle(items)
+        assert reduce_by_covering(dict(items)) == want
+
+
+@pytest.mark.parametrize("seed", range(15))
+def test_reduction_is_idempotent(seed):
+    rnd = random.Random(2000 + seed)
+    once = reduce_by_covering(random_filter_map(rnd, 20))
+    assert reduce_by_covering(once) == once
+
+
+@pytest.mark.parametrize("seed", range(15))
+def test_reduction_is_sound_and_minimal(seed):
+    rnd = random.Random(3000 + seed)
+    filters = random_filter_map(rnd, 20)
+    kept = reduce_by_covering(filters)
+    # kept is a sub-map of the input
+    assert all(filters[key] == f for key, f in kept.items())
+    # sound: every input filter is covered by some survivor
+    for f in filters.values():
+        assert any(covers(g, f) for g in kept.values())
+    # minimal: no survivor is covered by a *different* survivor
+    for key, f in kept.items():
+        for other_key, other in kept.items():
+            if other_key != key:
+                assert not covers(other, f)
+
+
+def test_equal_filters_keep_smallest_key():
+    f = RangeFilter(0.0, 0.5)
+    kept = reduce_by_covering({10: f, 2: RangeFilter(0.0, 0.5), 30: f})
+    assert sorted(kept) == [10]  # repr-ordering: '10' < '2' < '30'
+
+
+def test_empty_and_singleton_maps():
+    assert reduce_by_covering({}) == {}
+    f = RangeFilter(0.1, 0.2)
+    assert reduce_by_covering({("k", 1): f}) == {("k", 1): f}

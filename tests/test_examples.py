@@ -17,6 +17,7 @@ EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
         "fleet_tracking.py",
         "frequent_mobility.py",
         "protocol_comparison.py",
+        "lossy_hotspot.py",
     ],
 )
 def test_example_runs_clean(script):

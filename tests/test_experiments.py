@@ -187,3 +187,17 @@ def test_cli_runs_smoke(capsys):
     out = capsys.readouterr().out
     assert "Figure 6(a)" in out
     assert "mhh" in out
+
+
+def test_workload_overrides_reject_sweep_owned_fields():
+    import pytest as _pytest
+
+    from repro.errors import ConfigurationError
+    from repro.experiments import figures
+
+    with _pytest.raises(ConfigurationError, match="sweep-owned"):
+        figures.run_fig5(scale="smoke", conn_periods_s=(10.0,),
+                         workload_overrides={"mean_connected_s": 5.0})
+    with _pytest.raises(ConfigurationError, match="sweep-owned"):
+        figures.run_fig6(scale="smoke", grid_sizes=(3,),
+                         workload_overrides={"duration_s": 5.0})

@@ -195,3 +195,54 @@ def test_summarize_builds_row():
     d = row.as_dict()
     assert d["protocol"] == "mhh"
     assert d["missing"] == 0
+
+
+class TestHandoffLogDiscardOpen:
+    def test_discard_reports_count_and_keeps_records(self):
+        log = HandoffLog()
+        log.on_connect(1, 10.0, 3, 4)
+        log.on_connect(2, 20.0, 5, 6)
+        assert log.discard_open() == 2
+        assert log.handoff_count == 2  # the handoffs still happened...
+        assert log.delays() == []      # ...but contribute no delay samples
+
+    def test_delivery_after_discard_cannot_fill_in_delay(self):
+        log = HandoffLog()
+        log.on_connect(1, 10.0, 3, 4)
+        log.discard_open()
+        log.on_delivery(1, 500.0)  # drain-phase delivery
+        assert log.delays() == []
+        assert log.records[0].delay is None
+
+    def test_discard_is_idempotent_and_safe_when_empty(self):
+        log = HandoffLog()
+        assert log.discard_open() == 0
+        log.on_connect(1, 10.0, 3, 4)
+        assert log.discard_open() == 1
+        assert log.discard_open() == 0
+
+    def test_closed_records_survive_discard(self):
+        log = HandoffLog()
+        log.on_connect(1, 10.0, 3, 4)
+        log.on_delivery(1, 60.0)   # closes the record (delay = 50)
+        log.on_connect(2, 20.0, 5, 6)
+        assert log.discard_open() == 1  # only client 2's was still open
+        assert log.delays() == [50.0]
+
+    def test_same_broker_reconnect_closes_an_open_record(self):
+        log = HandoffLog()
+        log.on_connect(1, 10.0, 3, 4)      # handoff, open
+        log.on_disconnect(1, 30.0)
+        log.on_connect(1, 40.0, 4, 4)      # same-broker reconnect
+        assert log.discard_open() == 0     # nothing left open
+        log.on_delivery(1, 90.0)
+        assert log.delays() == []          # and nothing can be filled in
+
+    def test_new_handoff_after_discard_measures_normally(self):
+        log = HandoffLog()
+        log.on_connect(1, 10.0, 3, 4)
+        log.discard_open()
+        log.on_connect(1, 100.0, 4, 5)
+        log.on_delivery(1, 130.0)
+        assert log.delays() == [30.0]
+        assert log.median_delay() == 30.0

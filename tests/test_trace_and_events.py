@@ -81,3 +81,49 @@ class TestNotification:
         e = Notification(1, 7, 0, 0.0, 0.5, attrs)
         attrs["x"] = 2
         assert e.get("x") == 1
+
+
+class TestTracerEdgeCases:
+    def test_wants_is_true_for_everything_under_wildcard(self):
+        t = Tracer(lambda: 0.0, enabled="*")
+        assert t.wants("anything") and t.wants("")
+
+    def test_empty_enabled_iterable_records_nothing(self):
+        t = Tracer(lambda: 0.0, enabled=())
+        t.emit("a", x=1)
+        assert t.records == []
+        assert not t.wants("a")
+
+    def test_select_unknown_category_is_empty(self):
+        t = Tracer(lambda: 0.0, enabled="*")
+        t.emit("a")
+        assert t.select("zzz") == []
+
+    def test_format_limit_zero_and_empty(self):
+        t = Tracer(lambda: 0.0, enabled="*")
+        assert t.format() == ""
+        t.emit("a", x=1)
+        t.emit("b", y=2)
+        assert t.format(limit=0) == ""
+        assert len(t.format(limit=5).splitlines()) == 2
+
+    def test_clear_resets_but_keeps_category_filter(self):
+        t = Tracer(lambda: 0.0, enabled=["a"])
+        t.emit("a")
+        t.clear()
+        assert t.records == []
+        t.emit("a")
+        t.emit("b")
+        assert len(t.records) == 1 and t.wants("a") and not t.wants("b")
+
+    def test_records_carry_emission_time_order(self):
+        now = [0.0]
+        t = Tracer(lambda: now[0], enabled="*")
+        for i in range(3):
+            now[0] = 10.0 * i
+            t.emit("tick", i=i)
+        assert [r.time for r in t.records] == [0.0, 10.0, 20.0]
+
+    def test_record_get_returns_first_match(self):
+        rec = TraceRecord(1.0, "c", (("k", 1), ("k", 2)))
+        assert rec.get("k") == 1
