@@ -4,6 +4,8 @@ Publish/Subscribe Systems* (Wang, Cao, Li, Wu — ICPP 2007).
 The package provides, from scratch:
 
 * a deterministic discrete-event simulation kernel (:mod:`repro.sim`),
+* a sans-IO driver boundary so the same protocol core runs under the
+  simulator or a live asyncio runtime (:mod:`repro.drivers`),
 * the paper's network substrate — k x k base-station grid, MST overlay,
   FIFO links with the paper's latencies (:mod:`repro.network`),
 * a content-based publish/subscribe system with reverse path forwarding
@@ -41,6 +43,13 @@ from repro.errors import (
     ConfigurationError,
 )
 from repro.sim import Simulator, Process, spawn, RandomStreams, Tracer
+from repro.drivers import (
+    AsyncioClock,
+    LiveDriver,
+    SimulatedDriver,
+    VirtualClock,
+    run_soak,
+)
 from repro.network import (
     Topology,
     grid_topology,
@@ -93,6 +102,12 @@ __all__ = [
     "spawn",
     "RandomStreams",
     "Tracer",
+    # drivers
+    "SimulatedDriver",
+    "LiveDriver",
+    "AsyncioClock",
+    "VirtualClock",
+    "run_soak",
     # network
     "Topology",
     "grid_topology",

@@ -1,0 +1,482 @@
+"""The live driver: the sans-IO kernel under real (or virtual) time.
+
+Where the simulated driver hands the kernel the discrete-event scheduler as
+its clock, this module provides clocks backed by something *other* than the
+simulation engine:
+
+* :class:`VirtualClock` — a deterministic virtual-time scheduler: one flat
+  ``(when, seq)`` heap, no FIFO lanes, no engine machinery. It mimics the
+  ordering semantics of an asyncio event loop (deadline order, submission
+  order on ties) while staying fully deterministic, which makes it the
+  reference clock for driver-parity differential tests: the same seeded
+  scenario must produce the same :class:`~repro.metrics.delivery.
+  DeliveryChecker` outcome under it as under the simulator.
+* :class:`AsyncioClock` — the same ``(when, seq)`` queue executed against a
+  real asyncio event loop: model milliseconds map to wall-clock delays
+  (optionally compressed by ``time_scale``), and due callbacks fire from a
+  single loop timer in deadline order. Keeping our own heap instead of one
+  ``loop.call_later`` per message preserves the strict submission-order
+  tie-break the link layer's FIFO arguments rest on (asyncio's timer heap
+  does not guarantee stable ordering for equal deadlines).
+
+:class:`LiveDriver` plugs either clock into the unchanged
+:class:`~repro.network.links.LinkLayer` — the per-link in-process queues,
+serial wireless channels and the loss/dup/jitter fault injection from
+:mod:`repro.network.faults` are reused verbatim; only *time* is real.
+
+:func:`run_soak` is the zero-to-live proof: it builds a real
+:class:`~repro.pubsub.system.PubSubSystem` on an asyncio loop, drives the
+standard churn workload (the same :class:`~repro.workload.mobility_model.
+Workload` processes the simulator uses) for a wall-clock window, drains to
+quiescence and audits the delivery ledger — exposed as
+``python -m repro.experiments.cli soak``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import heapq
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional, TYPE_CHECKING
+
+from repro.drivers.base import CancelHandle, Clock, Driver, Transport
+from repro.errors import SchedulingError, SimulationError
+from repro.network.links import LinkLayer
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.experiments.config import ExperimentConfig
+    from repro.metrics.delivery import DeliveryStats
+    from repro.pubsub.system import PubSubSystem
+
+__all__ = [
+    "VirtualClock",
+    "AsyncioClock",
+    "LiveDriver",
+    "SoakResult",
+    "run_soak",
+    "run_virtual_scenario",
+]
+
+
+class _Handle(CancelHandle):
+    """Cancellation flag for one scheduled callback.
+
+    ``cancelled`` doubles as the fired marker: firing sets it so a late
+    ``cancel()`` cannot decrement the clock's pending count twice.
+    """
+
+    __slots__ = ("_clock", "cancelled")
+
+    def __init__(self, clock: "_HeapClock") -> None:
+        self._clock = clock
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        if not self.cancelled:
+            self.cancelled = True
+            self._clock._pending -= 1
+
+
+class _HeapClock(Clock):
+    """Shared ``(when, seq)`` heap mechanics for the live clocks."""
+
+    __slots__ = ("_heap", "_seq", "_pending", "_fired")
+
+    def __init__(self) -> None:
+        # entries: (when_ms, seq, handle-or-None, callback, args)
+        self._heap: list[tuple[float, int, Optional[_Handle], Callable, tuple]] = []
+        self._seq = 0
+        self._pending = 0
+        self._fired = 0
+
+    # -- scheduling -----------------------------------------------------
+    def _push(
+        self,
+        delay: float,
+        handle: Optional[_Handle],
+        callback: Callable[..., Any],
+        args: tuple,
+    ) -> None:
+        if delay < 0:
+            raise SchedulingError(
+                f"cannot schedule into the past: delay={delay!r} at t={self.now!r}"
+            )
+        seq = self._seq
+        self._seq = seq + 1
+        heapq.heappush(self._heap, (self.now + delay, seq, handle, callback, args))
+        self._pending += 1
+
+    def call_later(
+        self, delay: float, callback: Callable[..., Any], *args: Any
+    ) -> _Handle:
+        handle = _Handle(self)
+        self._push(delay, handle, callback, args)
+        return handle
+
+    def call_later_fifo(
+        self, delay: float, callback: Callable[..., Any], *args: Any
+    ) -> None:
+        # no handle: never cancellable. One heap serves both paths — the
+        # FIFO guarantee is simply (when, seq) order, which the shared
+        # monotone seq provides.
+        self._push(delay, None, callback, args)
+
+    # -- firing ---------------------------------------------------------
+    def _pop_due(self, when: float):
+        """Pop the head if it is due at ``when`` and not cancelled."""
+        heap = self._heap
+        while heap and heap[0][0] <= when:
+            entry = heapq.heappop(heap)
+            handle = entry[2]
+            if handle is not None:
+                if handle.cancelled:
+                    continue
+                handle.cancelled = True  # fired; late cancel() is a no-op
+            self._pending -= 1
+            self._fired += 1
+            return entry
+        return None
+
+    # -- introspection --------------------------------------------------
+    @property
+    def pending(self) -> int:
+        """Scheduled-but-unfired callbacks (cancelled ones excluded)."""
+        return self._pending
+
+    @property
+    def events_processed(self) -> int:
+        return self._fired
+
+    def peek(self) -> Optional[float]:
+        """Time of the next pending (non-cancelled) callback, or None."""
+        heap = self._heap
+        while heap and heap[0][2] is not None and heap[0][2].cancelled:
+            heapq.heappop(heap)
+        return heap[0][0] if heap else None
+
+
+class VirtualClock(_HeapClock):
+    """Deterministic virtual-time clock for driver-parity tests.
+
+    ``run(until=...)`` mirrors :meth:`repro.sim.core.Simulator.run`
+    semantics (the clock is advanced to exactly ``until`` on return), so
+    measurement windows compose identically across drivers.
+    """
+
+    __slots__ = ("now",)
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        super().__init__()
+        self.now = start_time
+
+    def run(self, until: Optional[float] = None) -> None:
+        while True:
+            head = self.peek()
+            if head is None or (until is not None and head > until):
+                break
+            entry = self._pop_due(head)
+            if entry is None:  # pragma: no cover - peek guarantees due work
+                break
+            self.now = entry[0]
+            entry[3](*entry[4])
+        if until is not None and until > self.now:
+            self.now = until
+
+
+class AsyncioClock(_HeapClock):
+    """Model-time clock over a real asyncio event loop.
+
+    ``now`` is wall time since construction, in model milliseconds:
+    ``(loop.time() - t0) * 1000 * time_scale``. A single loop timer is
+    armed for the earliest deadline; when it fires, every due entry runs
+    in strict ``(when, seq)`` order.
+
+    ``time_scale`` compresses the model: at ``time_scale=5`` one wall
+    second carries five model seconds (a 10 ms wired hop takes 2 ms of
+    wall time). Protocol timers and link latencies scale together, so
+    relative behaviour is preserved — only the wall budget shrinks.
+    """
+
+    __slots__ = ("loop", "time_scale", "_t0", "_timer", "_armed_for")
+
+    def __init__(
+        self,
+        loop: Optional[asyncio.AbstractEventLoop] = None,
+        time_scale: float = 1.0,
+    ) -> None:
+        super().__init__()
+        if time_scale <= 0:
+            raise SchedulingError(f"time_scale must be > 0, got {time_scale!r}")
+        self.loop = loop if loop is not None else asyncio.new_event_loop()
+        self.time_scale = time_scale
+        self._t0 = self.loop.time()
+        self._timer: Optional[asyncio.TimerHandle] = None
+        self._armed_for: Optional[float] = None
+
+    @property
+    def now(self) -> float:
+        return (self.loop.time() - self._t0) * 1000.0 * self.time_scale
+
+    def _wall_at(self, model_ms: float) -> float:
+        return self._t0 + model_ms / (1000.0 * self.time_scale)
+
+    def _push(self, delay, handle, callback, args) -> None:
+        super()._push(delay, handle, callback, args)
+        self._arm()
+
+    def _arm(self) -> None:
+        head = self._heap[0][0] if self._heap else None
+        if head is None:
+            return
+        if self._timer is not None:
+            if self._armed_for is not None and self._armed_for <= head:
+                return  # an earlier-or-equal wake is already pending
+            self._timer.cancel()
+        self._armed_for = head
+        self._timer = self.loop.call_at(self._wall_at(head), self._run_due)
+
+    def _run_due(self) -> None:
+        self._timer = None
+        self._armed_for = None
+        # re-read `now` each iteration so zero-delay chains scheduled by a
+        # firing callback run in this burst instead of waiting a loop tick.
+        # Re-arm in a finally: a raising callback must not strand the rest
+        # of the heap unfired (the loop's handler logs the exception and
+        # the loop survives, so the clock has to as well).
+        try:
+            while True:
+                entry = self._pop_due(self.now)
+                if entry is None:
+                    break
+                entry[3](*entry[4])
+        finally:
+            self._arm()
+
+    async def wait_idle(
+        self,
+        quiescent: Optional[Callable[[], bool]] = None,
+        timeout_s: Optional[float] = None,
+        poll_s: float = 0.02,
+    ) -> bool:
+        """Wait until nothing is scheduled (and ``quiescent()`` agrees)."""
+        deadline = None if timeout_s is None else self.loop.time() + timeout_s
+        while True:
+            if self._pending == 0 and (quiescent is None or quiescent()):
+                return True
+            if deadline is not None and self.loop.time() >= deadline:
+                return False
+            await asyncio.sleep(poll_s)
+
+
+class LiveDriver(Driver):
+    """Run the kernel over a live clock (asyncio wall time or virtual).
+
+    The transport is the standard :class:`~repro.network.links.LinkLayer`
+    — sans-IO over the clock — so the live runtime keeps the exact link
+    model (per-link FIFO, serial wireless channels, fault injection) the
+    simulator validates.
+    """
+
+    __slots__ = ("clock", "sim")
+
+    name = "live"
+
+    def __init__(self, clock: Clock) -> None:
+        self.clock = clock
+        self.sim = None
+
+    def build_transport(
+        self,
+        topo: Any,
+        paths: Any,
+        *,
+        wired_latency: float,
+        wireless_latency: float,
+        account: Optional[Callable[[str, int, bool], None]] = None,
+        unicast_hops: Optional[Callable[[int, int], int]] = None,
+        faults: Optional[Any] = None,
+    ) -> Transport:
+        return LinkLayer(
+            self.clock,
+            topo,
+            paths,
+            wired_latency=wired_latency,
+            wireless_latency=wireless_latency,
+            account=account,
+            unicast_hops=unicast_hops,
+            faults=faults,
+        )
+
+
+# ---------------------------------------------------------------------------
+# virtual-time scenario driver (parity tests)
+# ---------------------------------------------------------------------------
+def run_virtual_scenario(cfg: "ExperimentConfig") -> "PubSubSystem":
+    """Run one experiment config through the live driver on virtual time.
+
+    Mirrors :func:`repro.experiments.runner.run_experiment`'s phases
+    (measurement window, workload stop, reconnect-everyone drain to
+    quiescence) without ever touching ``system.sim`` — the differential
+    driver-parity tests compare its :class:`DeliveryChecker` outcome
+    against the simulated driver's, per protocol.
+    """
+    from repro.pubsub.system import PubSubSystem
+    from repro.workload.mobility_model import Workload
+
+    clock = VirtualClock()
+    system = PubSubSystem(
+        grid_k=cfg.grid_k,
+        protocol=cfg.protocol,
+        seed=cfg.seed,
+        covering_enabled=cfg.covering_enabled,
+        migration_batch_size=cfg.migration_batch_size,
+        matching_engine=cfg.matching_engine,
+        covering_index=cfg.covering_index,
+        faults=cfg.faults,
+        driver=LiveDriver(clock),
+    )
+    system.metrics.delivery.record_log = True
+    workload = Workload(system, cfg.workload)
+    clock.run(until=cfg.workload.duration_ms)
+    workload.stop()
+    workload.reconnect_all()
+    # an unbounded run() drains the heap completely (unlike the runner's
+    # deadline-interruptible loop, no rounds are needed here)
+    clock.run()
+    if not system.protocol.quiescent():
+        raise SimulationError(
+            "drain deadlock: live clock idle but protocol not quiescent"
+        )
+    return system
+
+
+# ---------------------------------------------------------------------------
+# the asyncio soak harness
+# ---------------------------------------------------------------------------
+@dataclass
+class SoakResult:
+    """Outcome of one live churn soak."""
+
+    protocol: str
+    wall_seconds: float
+    model_ms: float
+    stats: "DeliveryStats"
+    handoffs: int
+    injected_drops: int
+    injected_dups: int
+    drained: bool
+    violations: list[str] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return self.drained and not self.violations
+
+
+def _soak_violations(
+    protocol: str, stats: "DeliveryStats", drops: int, dups: int
+) -> list[str]:
+    """The conformance fuzzer's invariant matrix, applied to a live run."""
+    v: list[str] = []
+    if stats.missing != 0:
+        v.append(f"missing={stats.missing} deliveries unaccounted for")
+    if stats.duplicates != dups:
+        v.append(
+            f"duplicates={stats.duplicates} != injected link copies {dups}"
+        )
+    if protocol == "home-broker":
+        if stats.lost_explicit < drops:
+            v.append(
+                f"lost={stats.lost_explicit} < injected link drops {drops}"
+            )
+    else:
+        if stats.lost_explicit != drops:
+            v.append(
+                f"lost={stats.lost_explicit} != injected link drops {drops}"
+            )
+        if stats.order_violations != 0:
+            v.append(f"order_violations={stats.order_violations}")
+    if stats.published == 0:
+        v.append("degenerate soak: nothing was published")
+    return v
+
+
+def run_soak(
+    protocol: str = "mhh",
+    *,
+    grid_k: int = 3,
+    seed: int = 1,
+    duration_s: float = 3.0,
+    time_scale: float = 5.0,
+    clients_per_broker: int = 3,
+    mobile_fraction: float = 0.5,
+    mean_connected_s: float = 2.0,
+    mean_disconnected_s: float = 0.5,
+    publish_interval_s: float = 1.0,
+    faults: Optional[Any] = None,
+    drain_timeout_s: float = 60.0,
+) -> SoakResult:
+    """Run a live churn workload on an asyncio loop and audit delivery.
+
+    ``duration_s`` is *wall* seconds of measurement; the workload's period
+    parameters are model seconds (compressed by ``time_scale``). After the
+    window the workload stops, every client reconnects, and the run drains
+    until the clock is idle and the protocol reports quiescence — then the
+    delivery ledger is audited against the fuzzer's invariant matrix.
+    """
+    from repro.pubsub.system import PubSubSystem
+    from repro.workload.mobility_model import Workload
+    from repro.workload.spec import WorkloadSpec
+
+    loop = asyncio.new_event_loop()
+    try:
+        clock = AsyncioClock(loop, time_scale=time_scale)
+        system = PubSubSystem(
+            grid_k=grid_k,
+            protocol=protocol,
+            seed=seed,
+            faults=faults,
+            driver=LiveDriver(clock),
+        )
+        spec = WorkloadSpec(
+            clients_per_broker=clients_per_broker,
+            mobile_fraction=mobile_fraction,
+            mean_connected_s=mean_connected_s,
+            mean_disconnected_s=mean_disconnected_s,
+            publish_interval_s=publish_interval_s,
+            duration_s=max(duration_s * time_scale, 1.0),
+            warmup_s=0.2,
+        )
+        wall_start = time.perf_counter()
+        workload = Workload(system, spec)
+
+        async def main() -> bool:
+            await asyncio.sleep(duration_s)
+            workload.stop()
+            workload.reconnect_all()
+            return await clock.wait_idle(
+                quiescent=system.protocol.quiescent, timeout_s=drain_timeout_s
+            )
+
+        drained = loop.run_until_complete(main())
+        wall = time.perf_counter() - wall_start
+        model_ms = clock.now
+    finally:
+        loop.close()
+
+    injector = system.fault_injector
+    drops = injector.drops if injector is not None else 0
+    dups = injector.dups_delivered if injector is not None else 0
+    stats = system.metrics.delivery.stats
+    violations = _soak_violations(protocol, stats, drops, dups) if drained else []
+    return SoakResult(
+        protocol=protocol,
+        wall_seconds=wall,
+        model_ms=model_ms,
+        stats=stats,
+        handoffs=system.metrics.handoffs.handoff_count,
+        injected_drops=drops,
+        injected_dups=dups,
+        drained=drained,
+        violations=violations,
+    )

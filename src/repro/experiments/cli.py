@@ -1,26 +1,36 @@
-"""Command-line entry point: regenerate the paper's figures.
+"""Command-line entry point: regenerate the paper's figures, or soak live.
 
 Usage::
 
     python -m repro.experiments.cli fig5a [--scale smoke|small|paper] [--seed N]
     python -m repro.experiments.cli fig6b --scale paper
     python -m repro.experiments.cli all --scale small
+    python -m repro.experiments.cli soak --duration 3 --loss 0.1
 
 ``fig5a``/``fig5b`` share one sweep, as do ``fig6a``/``fig6b``; asking for
 both panels of a figure runs the sweep once.
+
+``soak`` runs the **live asyncio driver** instead of the simulator: the
+same broker/protocol kernel under real wall-clock delays, driven by the
+standard churn workload for ``--duration`` wall seconds per protocol,
+then drained to quiescence and audited against the conformance fuzzer's
+delivery invariant matrix (see :mod:`repro.drivers.live`).
 
 Adversarial variants of the paper sweeps: ``--loss/--dup/--jitter`` switch
 on seeded wireless fault injection (:mod:`repro.network.faults`) and
 ``--mobility``/``--topic-skew`` swap the movement and topic-popularity
 models (:mod:`repro.workload.models`). All default off — the plain
-invocation reproduces the paper bit-for-bit.
+invocation reproduces the paper bit-for-bit. The fault flags apply to
+``soak`` too.
+
+Installed entry point: ``mhh-repro`` (see ``setup.cfg``).
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import Any, Sequence
+from typing import Any, Optional, Sequence
 
 from repro.experiments import figures, report
 from repro.network.faults import FaultProfile
@@ -30,6 +40,41 @@ __all__ = ["main"]
 
 _FIG5 = {"fig5a", "fig5b"}
 _FIG6 = {"fig6a", "fig6b"}
+_SOAK_PROTOCOLS = ("mhh", "sub-unsub", "two-phase", "home-broker")
+
+
+def _run_soak(args, faults: Optional[FaultProfile]) -> int:
+    from repro.drivers.live import run_soak
+
+    protocols = (
+        _SOAK_PROTOCOLS if args.protocol == "all" else (args.protocol,)
+    )
+    failed = False
+    for protocol in protocols:
+        result = run_soak(
+            protocol,
+            grid_k=args.soak_grid,
+            seed=args.seed,
+            duration_s=args.duration,
+            time_scale=args.time_scale,
+            faults=faults,
+        )
+        st = result.stats
+        status = "PASS" if result.passed else "FAIL"
+        print(
+            f"{status} {protocol:12s} wall={result.wall_seconds:5.1f}s "
+            f"model={result.model_ms / 1000.0:6.1f}s "
+            f"handoffs={result.handoffs:3d} published={st.published} "
+            f"expected={st.expected} delivered={st.delivered} "
+            f"dups={st.duplicates} lost={st.lost_explicit} "
+            f"missing={st.missing}"
+        )
+        if not result.drained:
+            print("     - drain did not reach quiescence in time")
+        for violation in result.violations:
+            print(f"     - {violation}")
+        failed = failed or not result.passed
+    return 1 if failed else 0
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -39,10 +84,11 @@ def main(argv: Sequence[str] | None = None) -> int:
     )
     parser.add_argument(
         "figure",
-        choices=sorted(_FIG5 | _FIG6 | {"fig5", "fig6", "all"}),
-        help="which figure (or panel) to regenerate",
+        choices=sorted(_FIG5 | _FIG6 | {"fig5", "fig6", "all", "soak"}),
+        help="which figure (or panel) to regenerate, or 'soak' to run "
+             "the live asyncio driver under a churn workload",
     )
-    parser.add_argument("--scale", default="small",
+    parser.add_argument("--scale", default=None,
                         choices=["smoke", "small", "paper"])
     parser.add_argument("--seed", type=int, default=1)
     parser.add_argument("--workers", type=int, default=None, metavar="N",
@@ -62,10 +108,53 @@ def main(argv: Sequence[str] | None = None) -> int:
                         choices=sorted(MOBILITY_MODELS),
                         help="mobility model for mobile clients "
                              "(default: the paper's uniform model)")
-    parser.add_argument("--topic-skew", type=float, default=0.0, metavar="S",
+    parser.add_argument("--topic-skew", type=float, default=None, metavar="S",
                         help="Zipf exponent for topic popularity "
                              "(0 = uniform, the paper's model)")
+    soak = parser.add_argument_group("soak (live asyncio driver)")
+    soak.add_argument("--protocol", default=None,
+                      choices=sorted(_SOAK_PROTOCOLS) + ["all"],
+                      help="protocol(s) to soak (default: all four)")
+    soak.add_argument("--duration", type=float, default=None, metavar="S",
+                      help="wall-clock seconds of live churn per protocol "
+                           "(default 3)")
+    soak.add_argument("--time-scale", type=float, default=None, metavar="X",
+                      help="model seconds per wall second (default 5: a "
+                           "10 ms wired hop takes 2 ms of wall time)")
+    soak.add_argument("--soak-grid", type=int, default=None, metavar="K",
+                      help="grid size for the soak (default 3)")
     args = parser.parse_args(argv)
+
+    # --seed and the fault flags are shared; everything else is scoped to
+    # one mode. Mode-scoped flags parse with a None sentinel so that a
+    # flag *explicitly* passed — even at its documented default value —
+    # is rejected in the wrong mode instead of being silently ignored;
+    # the real defaults are filled in below, after the check.
+    soak_only = ("protocol", "duration", "time_scale", "soak_grid")
+    figure_only = ("scale", "workers", "raw", "mobility", "topic_skew")
+    stray = [
+        name
+        for name in (figure_only if args.figure == "soak" else soak_only)
+        if getattr(args, name) not in (None, False)
+    ]
+    if stray:
+        scope = "figure sweeps" if args.figure == "soak" else "soak"
+        parser.error(
+            f"--{stray[0].replace('_', '-')} only applies to {scope} "
+            f"(target: {args.figure})"
+        )
+    if args.scale is None:
+        args.scale = "small"
+    if args.topic_skew is None:
+        args.topic_skew = 0.0
+    if args.protocol is None:
+        args.protocol = "all"
+    if args.duration is None:
+        args.duration = 3.0
+    if args.time_scale is None:
+        args.time_scale = 5.0
+    if args.soak_grid is None:
+        args.soak_grid = 3
 
     faults = None
     if args.loss or args.dup or args.jitter:
@@ -74,6 +163,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             deliver_duplicate=args.dup,
             wireless_jitter_ms=args.jitter,
         )
+    if args.figure == "soak":
+        return _run_soak(args, faults)
     overrides: dict[str, Any] = {}
     if args.mobility is not None:
         overrides["mobility_model"] = args.mobility

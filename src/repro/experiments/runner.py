@@ -99,14 +99,7 @@ def drain_to_quiescence(
     deadline = (
         system.sim.now + drain_limit_ms if drain_limit_ms is not None else None
     )
-    for client in workload.all_clients:
-        if not client.connected:
-            target = (
-                client.last_broker
-                if client.last_broker is not None
-                else client.home_broker
-            )
-            client.connect(target)
+    workload.reconnect_all()
     # The drain may need several rounds: reconnects trigger handoff
     # machinery whose completion schedules more events.
     for _round in range(10_000):

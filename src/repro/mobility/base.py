@@ -31,7 +31,15 @@ __all__ = ["MobilityProtocol"]
 
 
 class MobilityProtocol:
-    """Base class for mobility management protocols."""
+    """Base class for mobility management protocols.
+
+    Protocols are **sans-IO**: every effect goes through the system's
+    :attr:`clock` (``now`` / ``call_later``) and :attr:`net`
+    (``send_broker`` / ``unicast`` / ``reclaim_downlink``) facades, never
+    through a scheduler or link model directly — so the same protocol
+    instance runs under the discrete-event simulator and the live asyncio
+    runtime unchanged (:mod:`repro.drivers`).
+    """
 
     #: registry name; subclasses override
     name: str = "abstract"
@@ -40,6 +48,10 @@ class MobilityProtocol:
 
     def __init__(self, system: "PubSubSystem") -> None:
         self.system = system
+        #: sans-IO scheduling facade (repro.drivers.base.Clock)
+        self.clock = system.clock
+        #: sans-IO message-passing facade (repro.drivers.base.Transport)
+        self.net = system.net
 
     # ------------------------------------------------------------------
     # life-cycle hooks

@@ -139,7 +139,7 @@ class HomeBrokerProtocol(MobilityProtocol):
         self.system.tracer.emit(
             "hb_register", client=client, foreign=broker.id, home=home
         )
-        self.system.links.unicast(
+        self.net.unicast(
             broker.id, home, m.Register(client, broker.id, epoch)
         )
 
@@ -165,7 +165,7 @@ class HomeBrokerProtocol(MobilityProtocol):
             if st.queue is None:
                 st.queue = broker.new_queue(client).ref
             # reclaim untransmitted downlink events into the stored queue
-            pending = self.system.links.cancel_downlink_pending(client)
+            pending = self.net.reclaim_downlink(client)
             events = [
                 p.event for p in pending if isinstance(p, m.DeliverMessage)
             ]
@@ -178,11 +178,11 @@ class HomeBrokerProtocol(MobilityProtocol):
         del broker.pstate[client]
         # untransmitted downlink events are lost: the home broker has already
         # forwarded them and the foreign broker has nowhere to send them
-        pending = self.system.links.cancel_downlink_pending(client)
+        pending = self.net.reclaim_downlink(client)
         for p in pending:
             if isinstance(p, m.DeliverMessage):
                 self.system.metrics.on_loss(client, p.event)
-        self.system.links.unicast(
+        self.net.unicast(
             broker.id, home, m.Deregister(client, st.epoch)
         )
 
@@ -207,7 +207,7 @@ class HomeBrokerProtocol(MobilityProtocol):
                 raise ProtocolError("disconnected client without a queue")
             broker.get_queue(st.queue).append(event)
         else:
-            self.system.links.unicast(
+            self.net.unicast(
                 broker.id, st.location, m.ForwardedEvent(entry.client, event)
             )
 
@@ -257,11 +257,11 @@ class HomeBrokerProtocol(MobilityProtocol):
             min(len(q), self.system.migration_batch_size)
         )]
         if batch:
-            self.system.links.unicast(
+            self.net.unicast(
                 broker.id, st.location, m.ForwardedBatch(client, batch)
             )
         if len(q):
-            self.system.sim.schedule(
+            self.clock.call_later(
                 max(self.system.stream_pacing_ms, 1e-9),
                 self._drain_step, broker, client,
             )

@@ -126,19 +126,20 @@ class _LocalStreamJob:
     def _step(self) -> None:
         if self.cancelled:
             return
-        system = self.protocol.system
+        protocol = self.protocol
+        system = protocol.system
         q = self.broker.get_queue(self.ref)
         batch = [
             q.popleft()
             for _ in range(min(len(q), system.migration_batch_size))
         ]
         if batch:
-            system.links.unicast(
+            protocol.net.unicast(
                 self.broker.id, self.dest,
                 m.MigrateBatch(self.client, batch, self.append_to),
             )
         if len(q):
-            system.sim.schedule(
+            protocol.clock.call_later(
                 max(system.stream_pacing_ms, 1e-9), self._step
             )
         else:
@@ -339,7 +340,7 @@ class MHHProtocol(MobilityProtocol):
             self.system.tracer.emit(
                 "handoff_request", client=client, frm=broker.id, to=last_broker
             )
-            self.system.links.unicast(
+            self.net.unicast(
                 broker.id, last_broker, m.HandoffRequest(client, broker.id, epoch)
             )
         if st.pre_anchor is not None and self._present(broker, client):
@@ -423,7 +424,7 @@ class MHHProtocol(MobilityProtocol):
                     "stop_event_migration", client=client, frm=broker.id,
                     to=im.old_anchor,
                 )
-                self.system.links.unicast(
+                self.net.unicast(
                     broker.id, im.old_anchor, m.StopEventMigration(client)
                 )
             return
@@ -559,7 +560,7 @@ class MHHProtocol(MobilityProtocol):
             "sub_migration_start", client=client, frm=broker.id, to=dest
         )
         anchor.out_migration = _OutMigration(dest, first_hop, list(anchor.pqlist))
-        self.system.links.broker_to_broker(
+        self.net.send_broker(
             broker.id,
             first_hop,
             m.SubMigration(
@@ -603,10 +604,10 @@ class MHHProtocol(MobilityProtocol):
             )
         )
         st.transit = _Transit(tq.ref, frm, next_hop, msg.dest)
-        self.system.links.broker_to_broker(
+        self.net.send_broker(
             broker.id, frm, m.SubMigrationAck(msg.client)
         )
-        self.system.links.broker_to_broker(broker.id, next_hop, msg)
+        self.net.send_broker(broker.id, next_hop, msg)
 
     def _become_anchor(self, broker: "Broker", msg: m.SubMigration, frm: int) -> None:
         st = self._state(broker, msg.client)
@@ -624,7 +625,7 @@ class MHHProtocol(MobilityProtocol):
             )
         broker.migration_remove_from(frm, msg.key)
         broker.migration_mirror_received(frm, msg.key, msg.filter)
-        self.system.links.broker_to_broker(
+        self.net.send_broker(
             broker.id, frm, m.SubMigrationAck(msg.client)
         )
         arrivals = broker.new_queue(msg.client)
@@ -657,7 +658,7 @@ class MHHProtocol(MobilityProtocol):
         )
         if not present and self.enable_stop:
             anchor.in_migration.stop_sent = True
-            self.system.links.unicast(
+            self.net.unicast(
                 broker.id, old_anchor, m.StopEventMigration(msg.client)
             )
 
@@ -719,7 +720,7 @@ class MHHProtocol(MobilityProtocol):
                     ),
                 )
             else:
-                self.system.links.unicast(
+                self.net.unicast(
                     broker.id, ref.broker,
                     m.FetchQueue(client, ref, om.dest, None),
                 )
@@ -728,7 +729,7 @@ class MHHProtocol(MobilityProtocol):
         self.system.tracer.emit(
             "deliver_tq_launch", client=client, frm=broker.id, to=om.dest
         )
-        self.system.links.broker_to_broker(
+        self.net.send_broker(
             broker.id,
             om.first_hop,
             m.DeliverTQ(client, om.dest, om.dest, None),
@@ -759,10 +760,10 @@ class MHHProtocol(MobilityProtocol):
         broker.drop_queue(ref)
         pacing = self.system.stream_pacing_ms
         batches = list(chunked(events, self.system.migration_batch_size))
-        sim = self.system.sim
+        clock = self.clock
 
         def dispatch(batch):
-            self.system.links.unicast(
+            self.net.unicast(
                 broker.id, dest, m.MigrateBatch(client, batch, append_to)
             )
 
@@ -770,9 +771,9 @@ class MHHProtocol(MobilityProtocol):
             if i == 0:
                 dispatch(batch)
             else:
-                sim.schedule(i * pacing, dispatch, batch)
+                clock.call_later(i * pacing, dispatch, batch)
         delay = (len(batches) - 1) * pacing if len(batches) > 1 else 0.0
-        sim.schedule(delay, on_complete)
+        clock.call_later(delay, on_complete)
 
     def _local_queue_done(self, broker: "Broker", client: int, ref: QueueRef) -> None:
         st = broker.pstate.get(client)
@@ -787,7 +788,7 @@ class MHHProtocol(MobilityProtocol):
     def _on_fetch_queue(self, broker: "Broker", msg: m.FetchQueue, frm: int) -> None:
         self._stream_queue_local(
             broker, msg.client, msg.ref, msg.dest, msg.append_to,
-            on_complete=lambda: self.system.links.unicast(
+            on_complete=lambda: self.net.unicast(
                 broker.id, frm, m.QueueStreamed(msg.client, msg.ref)
             ),
         )
@@ -903,7 +904,7 @@ class MHHProtocol(MobilityProtocol):
             # preserving the TQ_i-before-TQ_{i+1} arrival order at the target
             st.transit = None
             self._gc(broker, client)
-            self.system.links.broker_to_broker(broker.id, next_hop, msg)
+            self.net.send_broker(broker.id, next_hop, msg)
 
         self._stream_queue_local(
             broker, client, transit.tq, msg.target, msg.append_to,
@@ -976,7 +977,7 @@ class MHHProtocol(MobilityProtocol):
             "stopped_migration", client=client, broker=broker.id,
             kept=len(om.remaining),
         )
-        self.system.links.broker_to_broker(
+        self.net.send_broker(
             broker.id,
             om.first_hop,
             m.DeliverTQ(
@@ -1050,7 +1051,7 @@ class MHHProtocol(MobilityProtocol):
                 broker.drop_queue(ref)
                 continue
             sm.current = ref
-            self.system.links.unicast(
+            self.net.unicast(
                 broker.id, ref.broker, m.FetchQueue(client, ref, broker.id, None)
             )
             return
@@ -1109,7 +1110,7 @@ class MHHProtocol(MobilityProtocol):
 
     def _reclaim_wireless(self, broker: "Broker", client: int, ref: QueueRef) -> None:
         """Pull queued (untransmitted) downlink events back into queue ``ref``."""
-        pending = self.system.links.cancel_downlink_pending(client)
+        pending = self.net.reclaim_downlink(client)
         events: list[Notification] = [
             p.event for p in pending if isinstance(p, m.DeliverMessage)
         ]

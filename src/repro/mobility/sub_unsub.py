@@ -109,7 +109,7 @@ class SubUnsubProtocol(MobilityProtocol):
         # overlay ("the maximum time for message delivery between any two
         # stations" — paper §5.1).
         self.safety_interval_ms = (
-            system.tree.diameter() * system.links.wired_latency
+            system.tree.diameter() * system.net.wired_latency
         )
 
     # ------------------------------------------------------------------
@@ -192,11 +192,11 @@ class SubUnsubProtocol(MobilityProtocol):
             client, key, self.system.clients[client].filter,
             m.CAT_SUB_HANDOFF, live=False, sink=q.ref.qid,
         )
-        root.handoff = _Handoff(last_broker, self.system.sim.now)
+        root.handoff = _Handoff(last_broker, self.clock.now)
         self.system.tracer.emit(
             "su_handoff_start", client=client, frm=last_broker, to=broker.id
         )
-        self.system.sim.schedule(
+        self.clock.call_later(
             self.safety_interval_ms,
             self._send_transfer_request,
             broker, client, epoch,
@@ -255,7 +255,7 @@ class SubUnsubProtocol(MobilityProtocol):
     def _reclaim_into_root(
         self, broker: "Broker", client: int, root: _Root
     ) -> None:
-        pending = self.system.links.cancel_downlink_pending(client)
+        pending = self.net.reclaim_downlink(client)
         events = [p.event for p in pending if isinstance(p, m.DeliverMessage)]
         if not events:
             return
@@ -318,7 +318,7 @@ class SubUnsubProtocol(MobilityProtocol):
         root = roots.get(epoch) if roots else None
         if root is None or root.handoff is None:  # pragma: no cover
             return
-        self.system.links.unicast(
+        self.net.unicast(
             broker.id,
             root.handoff.old_broker,
             m.TransferRequest(client, epoch, broker.id),
@@ -362,12 +362,12 @@ class SubUnsubProtocol(MobilityProtocol):
             broker.drop_queue(old_root.queue)
         # paced dispatch: one batch per link slot; TransferDone trails the
         # last batch on the same path (FIFO), so the merge sees everything
-        sim = self.system.sim
+        clock = self.clock
         pacing = self.system.stream_pacing_ms
         batches = list(chunked(events, self.system.migration_batch_size))
 
         def send_batch(batch):
-            self.system.links.unicast(
+            self.net.unicast(
                 broker.id, msg.new_broker,
                 m.TransferBatch(client, msg.epoch, batch),
             )
@@ -376,13 +376,13 @@ class SubUnsubProtocol(MobilityProtocol):
             if i == 0:
                 send_batch(batch)
             else:
-                sim.schedule(i * pacing, send_batch, batch)
+                clock.call_later(i * pacing, send_batch, batch)
         done = m.TransferDone(
             client, msg.epoch, frozenset(old_root.delivered_ids)
         )
         delay = (len(batches) - 1) * pacing if len(batches) > 1 else 0.0
-        sim.schedule(
-            delay, self.system.links.unicast, broker.id, msg.new_broker, done
+        clock.call_later(
+            delay, self.net.unicast, broker.id, msg.new_broker, done
         )
         roots = broker.pstate[client]
         del roots[old_root.epoch]
@@ -410,9 +410,9 @@ class SubUnsubProtocol(MobilityProtocol):
         # Merge no earlier than t0 + 2 * safety interval so dual-window
         # stragglers have landed in one of the two queues (DESIGN.md).
         merge_at = handoff.t0 + 2.0 * self.safety_interval_ms
-        delay = max(0.0, merge_at - self.system.sim.now)
+        delay = max(0.0, merge_at - self.clock.now)
         handoff.merge_scheduled = True
-        self.system.sim.schedule(delay, self._merge, broker, msg.client, root)
+        self.clock.call_later(delay, self._merge, broker, msg.client, root)
 
     def _root_for_epoch(self, broker: "Broker", client: int, epoch: int) -> _Root:
         roots = broker.pstate.get(client)

@@ -135,7 +135,7 @@ class TwoPhaseProtocol(MHHProtocol):
             super()._stream_next(broker, client, anchor)
             return
         target = prep.targets[0]
-        self.system.links.unicast(
+        self.net.unicast(
             broker.id, target, GrantRequest(client, broker.id)
         )
 
@@ -157,7 +157,7 @@ class TwoPhaseProtocol(MHHProtocol):
         holder = self._lane_holder.get(broker.id)
         if holder is None:
             self._lane_holder[broker.id] = msg.client
-            self.system.links.unicast(
+            self.net.unicast(
                 broker.id, msg.coordinator, GrantAck(msg.client, broker.id)
             )
         else:
@@ -173,7 +173,7 @@ class TwoPhaseProtocol(MHHProtocol):
         if prep is None:
             # the prepare was aborted (migration stopped) while this grant
             # was in flight or queued: hand the lane straight back
-            self.system.links.unicast(
+            self.net.unicast(
                 broker.id, msg.granter, GrantRelease(msg.client)
             )
             return
@@ -199,7 +199,7 @@ class TwoPhaseProtocol(MHHProtocol):
             if not queue:
                 del self._lane_queue[broker.id]
             self._lane_holder[broker.id] = nxt.client
-            self.system.links.unicast(
+            self.net.unicast(
                 broker.id, nxt.coordinator, GrantAck(nxt.client, broker.id)
             )
 
@@ -216,7 +216,7 @@ class TwoPhaseProtocol(MHHProtocol):
         if prep is not None:
             lanes.extend(prep.acquired)
         for lane in lanes:
-            self.system.links.unicast(broker.id, lane, GrantRelease(client))
+            self.net.unicast(broker.id, lane, GrantRelease(client))
 
     def _queue_done(self, broker: "Broker", client: int, anchor, ref) -> None:
         super()._queue_done(broker, client, anchor, ref)

@@ -21,13 +21,24 @@ Models the paper's Section 5.1 network:
   arrival-order relations that true store-and-forward would produce (proof
   sketch in DESIGN.md; property-tested in tests/test_links.py).
 
+The link layer is **sans-IO over a clock**: it schedules exclusively
+through the narrow :class:`~repro.drivers.base.Clock` facade
+(``call_later`` / ``call_later_fifo`` / ``now``) and therefore runs
+unchanged under any driver — the discrete-event simulator (whose
+``call_later_fifo`` *is* ``Simulator.schedule_fifo``) or the live asyncio
+runtime. It is also the canonical :class:`~repro.drivers.base.Transport`
+implementation: ``send_broker`` / ``send_client`` / ``send_uplink`` /
+``reclaim_downlink`` alias the methods below, so the kernel-facing facade
+adds no indirection.
+
 Every transmission here carries a *constant* delay (per link direction /
 hop count) and is never cancelled once on the wire — exactly the contract
-of :meth:`repro.sim.core.Simulator.schedule_fifo` — so the whole link layer
-rides the scheduler's O(1) lane fast path: one lane for wired hops, one per
-wireless latency, one per unicast hop count. The scheduler's merged
-``(time, seq)`` order keeps the FIFO guarantees stated above bit-for-bit
-identical to the heap engine.
+of ``call_later_fifo`` — so under the simulated driver the whole link
+layer rides the scheduler's O(1) lane fast path: one lane for wired hops,
+one per wireless latency, one per unicast hop count. The scheduler's
+merged ``(time, seq)`` order keeps the FIFO guarantees stated above
+bit-for-bit identical to the heap engine (and every conforming clock must
+preserve the same tie-break, see :mod:`repro.drivers.base`).
 
 The wireless edge optionally takes a :class:`~repro.network.faults.
 LinkFaultInjector` (loss / duplication / jitter — see that module for the
@@ -41,13 +52,15 @@ for the general heap.
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Callable, Optional
+from typing import Any, Callable, Optional, TYPE_CHECKING
 
 from repro.errors import RoutingError
 from repro.network.faults import DOWNLINK, UPLINK, LinkFaultInjector
 from repro.network.paths import ShortestPaths
 from repro.network.topology import Topology
-from repro.sim.core import Simulator
+
+if TYPE_CHECKING:  # pragma: no cover - the clock is duck-typed at runtime
+    from repro.drivers.base import Clock
 
 __all__ = ["LinkLayer", "WIRED_LATENCY_MS", "WIRELESS_LATENCY_MS"]
 
@@ -78,7 +91,7 @@ class _WirelessChannel:
     """
 
     __slots__ = (
-        "sim",
+        "clock",
         "latency",
         "deliver",
         "queue",
@@ -92,14 +105,14 @@ class _WirelessChannel:
 
     def __init__(
         self,
-        sim: Simulator,
+        clock: "Clock",
         latency: float,
         deliver: Callable[[Any], None],
         faults: Optional[LinkFaultInjector] = None,
         client: int = -1,
         direction: str = DOWNLINK,
     ) -> None:
-        self.sim = sim
+        self.clock = clock
         self.latency = latency
         self.deliver = deliver
         self.queue: deque[Any] = deque()
@@ -124,7 +137,7 @@ class _WirelessChannel:
                 return
             if fate == "dup":
                 self._dup_ids.add(id(msg))
-        if self._in_service is None and self.sim.now >= self.busy_until:
+        if self._in_service is None and self.clock.now >= self.busy_until:
             self._start(msg)
         else:
             self.queue.append(msg)
@@ -138,11 +151,11 @@ class _WirelessChannel:
             # variable latency would mint a lane per distinct delay; take
             # the general heap path instead (same (time, seq) order)
             latency += self.faults.jitter()
-            self.busy_until = self.sim.now + latency
-            self.sim.schedule(latency, self._finish, msg)
+            self.busy_until = self.clock.now + latency
+            self.clock.call_later(latency, self._finish, msg)
             return
-        self.busy_until = self.sim.now + latency
-        self.sim.schedule_fifo(latency, self._finish, msg)
+        self.busy_until = self.clock.now + latency
+        self.clock.call_later_fifo(latency, self._finish, msg)
 
     def _finish(self, msg: Any) -> None:
         self._in_service = None
@@ -182,7 +195,7 @@ class LinkLayer:
 
     def __init__(
         self,
-        sim: Simulator,
+        clock: "Clock",
         topo: Topology,
         paths: ShortestPaths,
         wired_latency: float = WIRED_LATENCY_MS,
@@ -191,7 +204,7 @@ class LinkLayer:
         unicast_hops: Optional[Callable[[int, int], int]] = None,
         faults: Optional[LinkFaultInjector] = None,
     ) -> None:
-        self.sim = sim
+        self.clock = clock
         self.topo = topo
         self.paths = paths
         self.wired_latency = wired_latency
@@ -219,7 +232,7 @@ class LinkLayer:
     def register_client(self, client_id: int, rx: Callable[[Any], None]) -> None:
         self._client_rx[client_id] = rx
         self._downlinks[client_id] = _WirelessChannel(
-            self.sim,
+            self.clock,
             self.wireless_latency,
             rx,
             faults=self.faults,
@@ -227,7 +240,7 @@ class LinkLayer:
             direction=DOWNLINK,
         )
         self._uplinks[client_id] = _WirelessChannel(
-            self.sim,
+            self.clock,
             self.wireless_latency,
             self._deliver_uplink,
             faults=self.faults,
@@ -243,7 +256,9 @@ class LinkLayer:
         if not self.topo.has_edge(frm, to):
             raise RoutingError(f"brokers {frm} and {to} are not adjacent")
         self.account(msg.category, 1, False)
-        self.sim.schedule_fifo(self.wired_latency, self._deliver_broker, to, msg, frm)
+        self.clock.call_later_fifo(
+            self.wired_latency, self._deliver_broker, to, msg, frm
+        )
 
     def unicast(self, frm: int, to: int, msg: Any) -> None:
         """Multi-hop unicast over the grid shortest path.
@@ -255,7 +270,7 @@ class LinkLayer:
         hops = self._unicast_hops(frm, to) if frm != to else 0
         if hops:
             self.account(msg.category, hops, False)
-        self.sim.schedule_fifo(
+        self.clock.call_later_fifo(
             hops * self.wired_latency, self._deliver_broker, to, msg, frm
         )
 
@@ -294,3 +309,12 @@ class LinkLayer:
 
     def downlink_backlog(self, client_id: int) -> int:
         return self._downlinks[client_id].backlog
+
+    # ------------------------------------------------------------------
+    # the kernel-facing Transport facade (repro.drivers.base.Transport):
+    # pure aliases, so the sans-IO boundary costs no indirection
+    # ------------------------------------------------------------------
+    send_broker = broker_to_broker
+    send_client = broker_to_client
+    send_uplink = client_to_broker
+    reclaim_downlink = cancel_downlink_pending

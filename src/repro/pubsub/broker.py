@@ -40,8 +40,9 @@ class Broker:
     def __init__(self, system: "PubSubSystem", broker_id: int) -> None:
         self.system = system
         self.id = broker_id
-        self.sim = system.sim
-        self.links = system.links
+        #: sans-IO transport facade (send_broker / send_client / unicast);
+        #: the broker never touches a scheduler or a link model directly
+        self.net = system.net
         self.tree = system.tree
         self.table = FilterTable(
             broker_id,
@@ -62,25 +63,33 @@ class Broker:
 
         ``frm`` is the sending broker id for wired messages, or
         ``-1 - client_id`` for client uplink messages.
+
+        Dispatch is a precomputed per-message-type handler table (built
+        once at class-definition time) rather than an ``isinstance``
+        ladder: one dict probe on the hot path, and new core message
+        types extend the table instead of growing a chain of branches.
+        Unlisted types fall through to the mobility protocol's control
+        dispatch, exactly as before.
         """
-        t = type(msg)
-        if t is m.EventMessage:
-            self.route_event(msg.event, from_broker=frm)
-        elif t is m.PublishMessage:
-            self.system.tracer.emit(
-                "publish", broker=self.id, event=msg.event.event_id
-            )
-            self.route_event(msg.event, from_broker=None)
-        elif t is m.SubscribeMessage:
-            self._handle_subscribe(frm, msg)
-        elif t is m.UnsubscribeMessage:
-            self._handle_unsubscribe(frm, msg)
-        elif t is m.ConnectMessage:
-            self.system.protocol.on_connect(
-                self, msg.client, msg.last_broker, msg.epoch
-            )
+        handler = self._CORE_DISPATCH.get(type(msg))
+        if handler is not None:
+            handler(self, msg, frm)
         else:
             self.system.protocol.on_control(self, msg, frm)
+
+    def _rx_event(self, msg: m.EventMessage, frm: int) -> None:
+        self.route_event(msg.event, from_broker=frm)
+
+    def _rx_publish(self, msg: m.PublishMessage, frm: int) -> None:
+        self.system.tracer.emit(
+            "publish", broker=self.id, event=msg.event.event_id
+        )
+        self.route_event(msg.event, from_broker=None)
+
+    def _rx_connect(self, msg: m.ConnectMessage, frm: int) -> None:
+        self.system.protocol.on_connect(
+            self, msg.client, msg.last_broker, msg.epoch
+        )
 
     # ------------------------------------------------------------------
     # event routing (hot path)
@@ -101,17 +110,17 @@ class Broker:
         nbrs, entries = self.table.match(event, from_broker)
         if nbrs:
             fwd = m.EventMessage(event)
-            links = self.links
+            net = self.net
             bid = self.id
             for nbr in nbrs:
-                links.broker_to_broker(bid, nbr, fwd)
+                net.send_broker(bid, nbr, fwd)
         protocol = self.system.protocol
         for entry in entries:
             protocol.on_event_for_client(self, entry, event, from_broker)
 
     def deliver_to_client(self, client: int, event: Notification) -> None:
         """Queue one event on the client's wireless downlink."""
-        self.links.broker_to_client(client, m.DeliverMessage(client, event))
+        self.net.send_client(client, m.DeliverMessage(client, event))
 
     # ------------------------------------------------------------------
     # subscription propagation
@@ -144,13 +153,13 @@ class Broker:
         for nbr in self.table.neighbors:
             self._withdraw(nbr, key, category)
 
-    def _handle_subscribe(self, frm: int, msg: m.SubscribeMessage) -> None:
+    def _handle_subscribe(self, msg: m.SubscribeMessage, frm: int) -> None:
         self.table.add_broker_filter(frm, msg.key, msg.filter)
         for nbr in self.table.neighbors:
             if nbr != frm:
                 self._advertise(nbr, msg.key, msg.filter, msg.category)
 
-    def _handle_unsubscribe(self, frm: int, msg: m.UnsubscribeMessage) -> None:
+    def _handle_unsubscribe(self, msg: m.UnsubscribeMessage, frm: int) -> None:
         if not self.table.remove_broker_filter(frm, msg.key):
             # The covering-pruned flood can legitimately deliver an unsub for
             # a key this broker never saw advertised; ignore it.
@@ -159,6 +168,16 @@ class Broker:
             if nbr != frm:
                 self._withdraw(nbr, msg.key, msg.category)
 
+    #: message type -> handler(self, msg, frm); precomputed so `receive`
+    #: costs one dict probe per message instead of an isinstance ladder
+    _CORE_DISPATCH = {
+        m.EventMessage: _rx_event,
+        m.PublishMessage: _rx_publish,
+        m.SubscribeMessage: _handle_subscribe,
+        m.UnsubscribeMessage: _handle_unsubscribe,
+        m.ConnectMessage: _rx_connect,
+    }
+
     def _advertise(self, nbr: int, key: Hashable, f: Filter, category: str) -> None:
         """Send ``sub(key, f)`` to ``nbr`` unless covering prunes it."""
         if self.system.covering_enabled and self.table.advertised_covers(nbr, f):
@@ -166,7 +185,7 @@ class Broker:
         if self.table.advertised_has(nbr, key):
             return
         self.table.advertised_add(nbr, key, f)
-        self.links.broker_to_broker(
+        self.net.send_broker(
             self.id, nbr, m.SubscribeMessage(key, f, category)
         )
 
@@ -211,10 +230,10 @@ class Broker:
         else:
             table.advertised_remove(nbr, key)
         for cand_key, cand_f in resubs:
-            self.links.broker_to_broker(
+            self.net.send_broker(
                 self.id, nbr, m.SubscribeMessage(cand_key, cand_f, category)
             )
-        self.links.broker_to_broker(
+        self.net.send_broker(
             self.id, nbr, m.UnsubscribeMessage(key, category)
         )
 

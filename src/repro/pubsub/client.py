@@ -58,7 +58,7 @@ class Client:
         #: even learns of it)
         self.connect_epoch = 0
         self._pub_seq = 0
-        system.links.register_client(client_id, self._on_downlink)
+        system.net.register_client(client_id, self._on_downlink)
 
     # ------------------------------------------------------------------
     # life-cycle
@@ -74,9 +74,9 @@ class Client:
         self.ever_connected = True
         self.connect_epoch += 1
         self.system.metrics.on_client_connect(
-            self.id, self.system.sim.now, previous, broker_id
+            self.id, self.system.clock.now, previous, broker_id
         )
-        self.system.links.client_to_broker(
+        self.system.net.send_uplink(
             self.id,
             broker_id,
             m.ConnectMessage(self.id, self.filter, previous, self.connect_epoch),
@@ -89,7 +89,7 @@ class Client:
         self.connected = False
         self.current_broker = None
         self.last_broker = broker
-        self.system.metrics.on_client_disconnect(self.id, self.system.sim.now)
+        self.system.metrics.on_client_disconnect(self.id, self.system.clock.now)
         self.system.protocol.on_disconnect(self.system.brokers[broker], self.id)
 
     def proclaim_and_disconnect(self, dest_broker: int) -> None:
@@ -103,7 +103,7 @@ class Client:
         self.connected = False
         self.current_broker = None
         self.last_broker = dest_broker if dest_broker != broker else broker
-        self.system.metrics.on_client_disconnect(self.id, self.system.sim.now)
+        self.system.metrics.on_client_disconnect(self.id, self.system.clock.now)
         self.system.protocol.on_proclaimed_disconnect(
             self.system.brokers[broker], self.id, dest_broker
         )
@@ -123,13 +123,13 @@ class Client:
             event_id=self.system.ids.next("event"),
             publisher=self.id,
             seq=self._pub_seq,
-            publish_time=self.system.sim.now,
+            publish_time=self.system.clock.now,
             topic=topic,
             attrs=attrs,
         )
         self._pub_seq += 1
         self.system.metrics.on_publish(event)
-        self.system.links.client_to_broker(
+        self.system.net.send_uplink(
             self.id, broker, m.PublishMessage(event)
         )
         return event
@@ -137,7 +137,7 @@ class Client:
     def _on_downlink(self, msg: m.Message) -> None:
         if type(msg) is m.DeliverMessage:
             self.system.metrics.on_delivery(
-                self.id, msg.event, self.system.sim.now
+                self.id, msg.event, self.system.clock.now
             )
         else:  # pragma: no cover - no other downlink message types exist
             raise ClientStateError(f"unexpected downlink message {msg!r}")

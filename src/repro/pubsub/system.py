@@ -1,4 +1,4 @@
-"""PubSubSystem: wires the simulator, network, brokers, clients and protocol.
+"""PubSubSystem: wires the driver, network, brokers, clients and protocol.
 
 This is the top-level object a user (or the experiment runner) builds:
 
@@ -11,17 +11,27 @@ This is the top-level object a user (or the experiment runner) builds:
 Brokers sit on a k x k grid; the overlay is a seeded minimum spanning tree;
 the mobility protocol is chosen by name ("mhh", "sub-unsub", "home-broker",
 "two-phase") or supplied as a factory.
+
+The protocol core is sans-IO: brokers, clients and the mobility protocols
+only ever touch ``system.clock`` (now / call_later) and ``system.net``
+(send_broker / unicast / send_client / send_uplink) — the ``driver``
+argument decides what stands behind those facades. The default
+:class:`~repro.drivers.simulated.SimulatedDriver` is the discrete-event
+engine (byte-identical to the pre-driver system); a
+:class:`~repro.drivers.live.LiveDriver` runs the same kernel under a real
+asyncio event loop (see ``python -m repro.experiments.cli soak``).
 """
 
 from __future__ import annotations
 
 from typing import Callable, Optional, Union, TYPE_CHECKING
 
+from repro.drivers.base import Driver
+from repro.drivers.simulated import SimulatedDriver
 from repro.errors import ConfigurationError
 from repro.metrics.hub import MetricsHub
 from repro.network.faults import FaultProfile, LinkFaultInjector
 from repro.network.links import (
-    LinkLayer,
     WIRED_LATENCY_MS,
     WIRELESS_LATENCY_MS,
 )
@@ -31,7 +41,7 @@ from repro.network.topology import Topology, grid_topology
 from repro.pubsub.broker import Broker
 from repro.pubsub.client import Client
 from repro.pubsub.filters import Filter
-from repro.sim.core import SIM_ENGINES, Simulator
+from repro.sim.core import SIM_ENGINES
 from repro.sim.rng import RandomStreams
 from repro.sim.trace import Tracer
 from repro.util.ids import IdAllocator
@@ -42,6 +52,8 @@ if TYPE_CHECKING:  # pragma: no cover
 __all__ = ["PubSubSystem"]
 
 ProtocolSpec = Union[str, Callable[["PubSubSystem"], "MobilityProtocol"]]
+
+DriverSpec = Union[str, Driver, None]
 
 
 def _protocol_factory(spec: ProtocolSpec) -> Callable[["PubSubSystem"], "MobilityProtocol"]:
@@ -72,6 +84,7 @@ class PubSubSystem:
         sim_engine: str = "lanes",
         covering_index: bool = True,
         faults: Optional[FaultProfile] = None,
+        driver: DriverSpec = None,
     ) -> None:
         if grid_k <= 0 and topology is None:
             raise ConfigurationError(f"grid_k must be >= 1, got {grid_k}")
@@ -92,6 +105,24 @@ class PubSubSystem:
             raise ConfigurationError(
                 f"sim_engine must be one of {SIM_ENGINES}, got {sim_engine!r}"
             )
+        if driver is None or driver == "sim":
+            driver = SimulatedDriver(engine=sim_engine)
+        elif not isinstance(driver, Driver):
+            raise ConfigurationError(
+                f"driver must be None, 'sim' or a Driver instance, "
+                f"got {driver!r}"
+            )
+        #: the execution driver: owns the clock and builds the transport.
+        #: Default is the discrete-event SimulatedDriver; pass a
+        #: repro.drivers.live.LiveDriver to run the same kernel under an
+        #: asyncio event loop (or a VirtualClock for differential tests).
+        self.driver = driver
+        #: sans-IO Clock facade (now / call_later / call_later_fifo)
+        self.clock = driver.clock
+        #: the discrete-event engine when the driver is simulated, else
+        #: None — only `run`/`run_until_quiescent` and the experiment
+        #: runner depend on it; the kernel itself never touches it
+        self.sim = driver.sim
         #: broker matching implementation: 'counting' (broker-wide counting
         #: engine, the default) or 'scan' (legacy per-neighbour scan path,
         #: kept for differential testing)
@@ -119,11 +150,10 @@ class PubSubSystem:
                 f"stream_pacing_ms must be >= 0, got {stream_pacing_ms}"
             )
         self.stream_pacing_ms = stream_pacing_ms
-        self.sim = Simulator(engine=sim_engine)
         self.streams = RandomStreams(seed)
         self.ids = IdAllocator()
         self.metrics = MetricsHub()
-        self.tracer = Tracer(lambda: self.sim.now, enabled=trace)
+        self.tracer = Tracer(lambda: self.clock.now, enabled=trace)
 
         self.topology = topology if topology is not None else grid_topology(grid_k)
         self.paths = ShortestPaths(self.topology)
@@ -157,8 +187,10 @@ class PubSubSystem:
             )
             self.fault_injector.account_fault = self.metrics.traffic.account_fault
 
-        self.links = LinkLayer(
-            self.sim,
+        #: sans-IO Transport facade the kernel sends through (under the
+        #: simulated driver this is the modelled LinkLayer; the live
+        #: driver hands the *same* LinkLayer a wall-clock asyncio clock)
+        self.net = driver.build_transport(
             self.topology,
             self.paths,
             wired_latency=wired_latency,
@@ -169,12 +201,14 @@ class PubSubSystem:
             ),
             faults=self.fault_injector,
         )
+        #: legacy alias for the transport (pre-driver call sites/tests)
+        self.links = self.net
 
         self.brokers: dict[int, Broker] = {}
         for bid in range(self.topology.n):
             broker = Broker(self, bid)
             self.brokers[bid] = broker
-            self.links.register_broker(bid, broker.receive)
+            self.net.register_broker(bid, broker.receive)
 
         self.clients: dict[int, Client] = {}
 
@@ -217,15 +251,28 @@ class PubSubSystem:
 
     # ------------------------------------------------------------------
     def run(self, until: Optional[float] = None) -> None:
-        """Advance the simulation (see :meth:`repro.sim.core.Simulator.run`)."""
-        self.sim.run(until=until)
+        """Advance the simulation (see :meth:`repro.sim.core.Simulator.run`).
+
+        Only meaningful under the simulated driver; a live system is driven
+        by its clock (the asyncio loop / :class:`VirtualClock`) instead.
+        """
+        self._require_sim().run(until=until)
 
     def run_until_quiescent(self, max_time: Optional[float] = None) -> None:
         """Drain every pending event (bounded by ``max_time`` if given)."""
         if max_time is None:
-            self.sim.run()
+            self._require_sim().run()
         else:
-            self.sim.run(until=max_time)
+            self._require_sim().run(until=max_time)
+
+    def _require_sim(self):
+        if self.sim is None:
+            raise ConfigurationError(
+                f"PubSubSystem.run is only available under the simulated "
+                f"driver (driver={self.driver.name!r}); drive the live "
+                f"clock / event loop instead"
+            )
+        return self.sim
 
     # ------------------------------------------------------------------
     # invariants (used by tests)

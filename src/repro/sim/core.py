@@ -209,6 +209,13 @@ class Simulator:
         lane.append(callback)
         lane.append(args)
 
+    #: sans-IO ``Clock`` facade (:mod:`repro.drivers.base`): the simulator
+    #: *is* the simulated driver's clock, with zero adapter indirection —
+    #: the aliases bind the same function objects, so the facade path is
+    #: byte-identical to calling ``schedule``/``schedule_fifo`` directly.
+    call_later = schedule
+    call_later_fifo = schedule_fifo
+
     # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------

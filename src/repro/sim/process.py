@@ -9,21 +9,26 @@ milliseconds to sleep; the driver reschedules itself on each yield.
 A generator may also yield ``0`` to defer to other events at the current
 instant (everything already scheduled for "now" runs first).
 
-Processes ride the scheduler's *heap* path (:meth:`Simulator.schedule`), not
-the constant-delay FIFO lanes: wakeup delays are irregular (exponential
-draws, model-dependent pauses) and :meth:`Process.interrupt` needs the
-cancellable :class:`EventHandle`. Process wakeups are a vanishing fraction
-of event volume — the lanes exist for the link layer underneath
+Processes are **clock-agnostic**: they schedule through the sans-IO
+``Clock`` facade's cancellable path (``call_later`` — on the simulator
+that is the scheduler's *heap* path, not the constant-delay FIFO lanes:
+wakeup delays are irregular and :meth:`Process.interrupt` needs the
+cancellable handle). The same generator processes therefore drive the
+workload under the discrete-event simulator *and* under the live asyncio
+runtime (:mod:`repro.drivers.live`). Process wakeups are a vanishing
+fraction of event volume — the lanes exist for the link layer underneath
 (:mod:`repro.network.links`), which is where the millions of constant-delay
 events come from.
 """
 
 from __future__ import annotations
 
-from typing import Any, Generator, Optional
+from typing import Any, Generator, Optional, TYPE_CHECKING
 
 from repro.errors import SimulationError
-from repro.sim.core import EventHandle, Simulator
+
+if TYPE_CHECKING:  # pragma: no cover - the clock is duck-typed at runtime
+    from repro.drivers.base import CancelHandle, Clock
 
 __all__ = ["Process", "spawn"]
 
@@ -31,18 +36,18 @@ ProcessGen = Generator[float, None, None]
 
 
 class Process:
-    """A running generator process bound to a simulator.
+    """A running generator process bound to a clock.
 
     The process starts automatically at construction time (its first segment
-    runs at ``sim.now + start_delay``). Use :meth:`interrupt` to stop it;
+    runs at ``clock.now + start_delay``). Use :meth:`interrupt` to stop it;
     interruption cancels the pending wakeup and closes the generator.
     """
 
-    __slots__ = ("sim", "_gen", "_pending", "alive", "name")
+    __slots__ = ("clock", "_gen", "_pending", "alive", "name")
 
     def __init__(
         self,
-        sim: Simulator,
+        clock: "Clock",
         gen: ProcessGen,
         start_delay: float = 0.0,
         name: str = "",
@@ -52,11 +57,13 @@ class Process:
                 f"Process requires a generator, got {type(gen).__name__}; "
                 "did you call the generator function?"
             )
-        self.sim = sim
+        self.clock = clock
         self._gen = gen
         self.alive = True
         self.name = name
-        self._pending: Optional[EventHandle] = sim.schedule(start_delay, self._resume)
+        self._pending: Optional["CancelHandle"] = clock.call_later(
+            start_delay, self._resume
+        )
 
     def _resume(self) -> None:
         self._pending = None
@@ -70,7 +77,7 @@ class Process:
             raise SimulationError(
                 f"process {self.name or self._gen!r} yielded invalid delay {delay!r}"
             )
-        self._pending = self.sim.schedule(delay, self._resume)
+        self._pending = self.clock.call_later(delay, self._resume)
 
     def interrupt(self) -> None:
         """Stop the process permanently. Idempotent."""
@@ -88,12 +95,12 @@ class Process:
 
 
 def spawn(
-    sim: Simulator,
+    clock: "Clock",
     gen: ProcessGen,
     start_delay: float = 0.0,
     name: str = "",
 ) -> Process:
-    """Convenience wrapper: ``Process(sim, gen, start_delay, name)``.
+    """Convenience wrapper: ``Process(clock, gen, start_delay, name)``.
 
     Examples
     --------
@@ -108,4 +115,4 @@ def spawn(
     >>> log
     [('start', 0.0), ('end', 10.0)]
     """
-    return Process(sim, gen, start_delay=start_delay, name=name)
+    return Process(clock, gen, start_delay=start_delay, name=name)

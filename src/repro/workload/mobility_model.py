@@ -64,14 +64,16 @@ class Workload:
         self.static_clients, self.mobile_clients = build_population(system, spec)
         self._processes: list[Process] = []
         self._stopped = False
-        sim = system.sim
+        # processes ride the sans-IO clock facade, so the same workload
+        # drives the simulated and the live (asyncio) drivers unchanged
+        clock = system.clock
         # initial attachment: everyone connects at its home broker at t=0
         for client in self.static_clients + self.mobile_clients:
             client.connect(client.home_broker)
         for client in self.static_clients + self.mobile_clients:
             self._processes.append(
                 spawn(
-                    sim,
+                    clock,
                     self._publisher(client),
                     start_delay=spec.warmup_ms,
                     name=f"pub/{client.id}",
@@ -80,7 +82,7 @@ class Workload:
         for client in self.mobile_clients:
             self._processes.append(
                 spawn(
-                    sim,
+                    clock,
                     self._mover(client),
                     start_delay=spec.warmup_ms,
                     name=f"move/{client.id}",
@@ -121,6 +123,19 @@ class Workload:
         self._stopped = True
         for proc in self._processes:
             proc.interrupt()
+
+    def reconnect_all(self) -> None:
+        """Reattach every disconnected client at its last-visited broker
+        (home broker if it never moved) — the drain-phase preamble shared
+        by the experiment runner and the live drivers."""
+        for client in self.all_clients:
+            if not client.connected:
+                target = (
+                    client.last_broker
+                    if client.last_broker is not None
+                    else client.home_broker
+                )
+                client.connect(target)
 
     @property
     def all_clients(self) -> list["Client"]:

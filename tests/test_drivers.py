@@ -1,0 +1,232 @@
+"""Driver parity: the sans-IO kernel under the live driver vs the simulator.
+
+The tentpole guarantee of the driver refactor is that the protocol core is
+genuinely engine-agnostic: running the same seeded scenario through the
+live driver (on a deterministic :class:`VirtualClock`, the stand-in for
+the asyncio loop with asyncio's ordering semantics — one flat
+``(when, seq)`` heap, no lanes, no ``schedule_fifo`` machinery) must
+produce the same :class:`DeliveryChecker` outcome as the simulated driver,
+for every protocol, with and without fault injection. The tests here
+assert the *full delivery log*, which subsumes the per-client counters.
+
+Also covered: VirtualClock ordering/cancellation semantics, the
+AsyncioClock-based live soak end-to-end, and the Broker dispatch table.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.drivers.base import Driver
+from repro.drivers.live import LiveDriver, VirtualClock, run_soak, run_virtual_scenario
+from repro.drivers.simulated import SimulatedDriver
+from repro.errors import ConfigurationError, SchedulingError
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import build_system, drain_to_quiescence
+from repro.network.faults import FaultProfile
+from repro.pubsub import messages as m
+from repro.pubsub.broker import Broker
+from repro.pubsub.system import PubSubSystem
+from repro.workload.spec import WorkloadSpec
+
+PROTOCOLS = ("mhh", "sub-unsub", "two-phase", "home-broker")
+
+SPEC = WorkloadSpec(
+    clients_per_broker=3,
+    mobile_fraction=0.5,
+    mean_connected_s=10.0,
+    mean_disconnected_s=5.0,
+    publish_interval_s=15.0,
+    duration_s=120.0,
+)
+
+FAULTS = FaultProfile(
+    deliver_loss=0.1, deliver_duplicate=0.05, wireless_jitter_ms=5.0
+)
+
+
+def _outcome(system: PubSubSystem):
+    st = system.metrics.delivery.stats
+    return (
+        st.published,
+        st.expected,
+        st.delivered,
+        st.duplicates,
+        st.order_violations,
+        st.lost_explicit,
+        st.missing,
+        system.metrics.handoffs.handoff_count,
+        tuple(system.metrics.delivery.log),
+    )
+
+
+def _run_simulated(cfg: ExperimentConfig):
+    system, workload = build_system(cfg)
+    system.metrics.delivery.record_log = True
+    system.run(until=cfg.workload.duration_ms)
+    workload.stop()
+    drain_to_quiescence(system, workload)
+    return _outcome(system)
+
+
+# ---------------------------------------------------------------------------
+# the parity gate
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("protocol", PROTOCOLS)
+def test_live_driver_matches_simulated_driver(protocol):
+    cfg = ExperimentConfig(protocol=protocol, grid_k=3, seed=7, workload=SPEC)
+    assert _run_simulated(cfg) == _outcome(run_virtual_scenario(cfg))
+
+
+@pytest.mark.parametrize("protocol", PROTOCOLS)
+def test_live_driver_matches_simulated_driver_under_faults(protocol):
+    cfg = ExperimentConfig(
+        protocol=protocol, grid_k=3, seed=11, workload=SPEC, faults=FAULTS
+    )
+    assert _run_simulated(cfg) == _outcome(run_virtual_scenario(cfg))
+
+
+# ---------------------------------------------------------------------------
+# VirtualClock semantics
+# ---------------------------------------------------------------------------
+def test_virtual_clock_fires_in_time_then_submission_order():
+    clock = VirtualClock()
+    fired = []
+    clock.call_later(5.0, fired.append, "later")
+    clock.call_later(1.0, fired.append, "a")
+    clock.call_later_fifo(1.0, fired.append, "b")
+    clock.call_later(1.0, fired.append, "c")
+    clock.run()
+    assert fired == ["a", "b", "c", "later"]
+    assert clock.now == 5.0
+    assert clock.pending == 0
+
+
+def test_virtual_clock_run_until_advances_clock_like_simulator():
+    clock = VirtualClock()
+    fired = []
+    clock.call_later(10.0, fired.append, "x")
+    clock.run(until=4.0)
+    assert fired == [] and clock.now == 4.0
+    clock.run(until=25.0)
+    assert fired == ["x"] and clock.now == 25.0
+
+
+def test_virtual_clock_cancel_is_idempotent_and_tracks_pending():
+    clock = VirtualClock()
+    fired = []
+    handle = clock.call_later(1.0, fired.append, "no")
+    clock.call_later(2.0, fired.append, "yes")
+    assert clock.pending == 2
+    handle.cancel()
+    handle.cancel()
+    assert clock.pending == 1
+    clock.run()
+    assert fired == ["yes"]
+    # cancelling after the fire must not corrupt the pending count
+    done = clock.call_later(1.0, fired.append, "again")
+    clock.run()
+    done.cancel()
+    assert clock.pending == 0
+
+
+def test_virtual_clock_rejects_negative_delay():
+    with pytest.raises(SchedulingError):
+        VirtualClock().call_later(-1.0, lambda: None)
+
+
+def test_zero_delay_chains_run_in_one_pass():
+    clock = VirtualClock()
+    fired = []
+
+    def chain(n):
+        fired.append(n)
+        if n:
+            clock.call_later(0.0, chain, n - 1)
+
+    clock.call_later(0.0, chain, 3)
+    clock.run()
+    assert fired == [3, 2, 1, 0]
+    assert clock.now == 0.0
+
+
+# ---------------------------------------------------------------------------
+# system plumbing
+# ---------------------------------------------------------------------------
+def test_system_rejects_unknown_driver_spec():
+    with pytest.raises(ConfigurationError):
+        PubSubSystem(grid_k=2, driver="warp")
+
+
+def test_live_system_has_no_simulator_and_refuses_run():
+    system = PubSubSystem(grid_k=2, driver=LiveDriver(VirtualClock()))
+    assert system.sim is None
+    assert system.driver.name == "live"
+    with pytest.raises(ConfigurationError):
+        system.run(until=10.0)
+
+
+def test_simulated_driver_is_the_default_and_exposes_sim():
+    system = PubSubSystem(grid_k=2)
+    assert isinstance(system.driver, SimulatedDriver)
+    assert isinstance(system.driver, Driver)
+    assert system.sim is system.clock
+    assert system.links is system.net
+
+
+def test_broker_dispatch_table_covers_exactly_the_core_types():
+    assert set(Broker._CORE_DISPATCH) == {
+        m.EventMessage,
+        m.PublishMessage,
+        m.SubscribeMessage,
+        m.UnsubscribeMessage,
+        m.ConnectMessage,
+    }
+
+
+def test_unknown_message_falls_through_to_protocol_control():
+    system = PubSubSystem(grid_k=2)
+    seen = []
+    system.protocol.on_control = lambda broker, msg, frm: seen.append(
+        (broker.id, msg, frm)
+    )
+    probe = m.StreamDone(client=0)
+    system.brokers[0].receive(probe, 1)
+    assert seen == [(0, probe, 1)]
+
+
+# ---------------------------------------------------------------------------
+# the asyncio soak (real wall-clock, kept tiny)
+# ---------------------------------------------------------------------------
+def test_asyncio_soak_mhh_with_faults_passes():
+    result = run_soak(
+        "mhh",
+        duration_s=0.6,
+        time_scale=10.0,
+        faults=FaultProfile(deliver_loss=0.1, deliver_duplicate=0.05),
+    )
+    assert result.drained, "live drain did not reach quiescence"
+    assert result.violations == []
+    assert result.stats.published > 0
+    assert result.stats.missing == 0
+
+
+def test_cli_soak_command(capsys):
+    from repro.experiments.cli import main
+
+    rc = main(
+        ["soak", "--protocol", "sub-unsub", "--duration", "0.4",
+         "--time-scale", "10", "--loss", "0.1"]
+    )
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "PASS sub-unsub" in out
+
+
+def test_cli_rejects_cross_mode_flags():
+    from repro.experiments.cli import main
+
+    with pytest.raises(SystemExit):
+        main(["fig5a", "--duration", "1"])
+    with pytest.raises(SystemExit):
+        main(["soak", "--scale", "paper"])
