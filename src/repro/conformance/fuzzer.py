@@ -26,6 +26,18 @@ In all cases the traffic meter's fault ledgers must agree with the
 injector's own counters — a drop that escaped accounting is a conformance
 failure even if delivery happens to reconcile.
 
+**Crash lane** (``--crash-lane``): scenarios gain a seeded broker
+crash/restart/partition schedule and run on perfect wireless links, so
+every loss is attributable to the failure model. On top of the standard
+rows the matrix asserts: every protocol accounts every loss
+(``missing == 0`` with ``crash_lost`` carrying the write-offs for events
+whose only copy died with a broker); reliable protocols additionally keep
+zero duplicates, per-publisher order, and zero unaccounted link losses
+through the repair; exactly one repair round runs per scheduled failure
+event; and the reconverged overlay carries live traffic
+(``post_repair_publishes > 0``). Protocols cycle deterministically, so a
+30-scenario batch covers each of the four at least seven times.
+
 **Cross-engine identity**: the same scenario re-run with the all-legacy
 engine bundle (heap scheduler × scan matching × covering scans) must
 produce a byte-identical delivery log, identical delivery/loss/duplicate
@@ -47,7 +59,7 @@ import sys
 from dataclasses import dataclass, field
 from typing import Callable, Optional, Sequence
 
-from repro.conformance.scenarios import ENGINE_BUNDLES, Scenario
+from repro.conformance.scenarios import ENGINE_BUNDLES, PROTOCOLS, Scenario
 from repro.experiments.runner import build_system, drain_to_quiescence
 
 __all__ = [
@@ -82,6 +94,9 @@ class ScenarioOutcome:
     meter_drops: int
     meter_dups: int
     sim_events: int
+    crash_lost: int = 0
+    repairs: int = 0
+    post_repair_publishes: int = 0
     wired_by_category: dict[str, int] = field(default_factory=dict)
     #: (client, event_id, time) per delivery, in delivery order
     delivery_log: tuple[tuple[int, int, float], ...] = ()
@@ -122,6 +137,11 @@ def run_scenario(
         meter_drops=meter.total_dropped(),
         meter_dups=meter.total_duplicated(),
         sim_events=system.sim.events_processed,
+        crash_lost=stats.crash_lost,
+        repairs=system.recovery.repairs if system.recovery else 0,
+        post_repair_publishes=(
+            system.recovery.post_repair_publishes if system.recovery else 0
+        ),
         wired_by_category=dict(meter.by_category()),
         delivery_log=tuple(system.metrics.delivery.log),
     )
@@ -174,6 +194,26 @@ def check_invariants(scenario: Scenario, o: ScenarioOutcome) -> list[str]:
         )
     if not scenario.faults.active and (o.injected_drops or o.injected_dups):
         v.append("fault profile inactive but the injector fired")
+    if scenario.crashes.active:
+        # Reliable protocols may write off deliveries whose only copy
+        # lived on the crashed broker (volatile state is genuinely gone) —
+        # but every such write-off must be *marked*, which the global
+        # ``missing == 0`` row already enforces. What distinguishes them
+        # from home-broker here is the rest of the matrix: no duplicates,
+        # order intact, zero unaccounted link losses.
+        if o.repairs != len(scenario.crashes.events):
+            v.append(
+                f"repairs={o.repairs} != scheduled failure events "
+                f"{len(scenario.crashes.events)}: a repair round was "
+                f"skipped or double-fired"
+            )
+        if o.post_repair_publishes == 0:
+            v.append(
+                "no post-repair publishes: the scenario never exercised "
+                "the reconverged overlay"
+            )
+    elif o.crash_lost or o.repairs:
+        v.append("crash plan inactive but the recovery machinery fired")
     if o.published == 0:
         v.append("degenerate scenario: nothing was published")
     return v
@@ -194,6 +234,9 @@ def compare_outcomes(a: ScenarioOutcome, b: ScenarioOutcome) -> list[str]:
         "injected_drops",
         "injected_dups",
         "sim_events",
+        "crash_lost",
+        "repairs",
+        "post_repair_publishes",
     ):
         av, bv = getattr(a, attr), getattr(b, attr)
         if av != bv:
@@ -232,10 +275,20 @@ class ScenarioResult:
     protocol: str
     label: str
     violations: list[str]
+    crash_lane: bool = False
+    forced_protocol: Optional[str] = None
 
     @property
     def passed(self) -> bool:
         return not self.violations
+
+    def replay_command(self) -> str:
+        cmd = f"python -m repro.conformance.fuzzer --scenario-seed {self.seed}"
+        if self.crash_lane:
+            cmd += " --crash-lane"
+            if self.forced_protocol is not None:
+                cmd += f" --protocol {self.forced_protocol}"
+        return cmd
 
 
 @dataclass
@@ -267,10 +320,7 @@ class FuzzReport:
                     "seed": r.seed,
                     "label": r.label,
                     "violations": r.violations,
-                    "replay": (
-                        f"python -m repro.conformance.fuzzer "
-                        f"--scenario-seed {r.seed}"
-                    ),
+                    "replay": r.replay_command(),
                 }
                 for r in self.results
             ],
@@ -280,24 +330,41 @@ class FuzzReport:
 class ScenarioFuzzer:
     """Samples and runs ``n_scenarios`` scenarios derived from one master
     seed; each scenario also re-runs under the all-legacy engine bundle
-    when ``cross_engine`` is on (the default)."""
+    when ``cross_engine`` is on (the default).
+
+    With ``crash_lane`` on, every scenario is the
+    :meth:`~repro.conformance.scenarios.Scenario.crash_from_seed` variant —
+    perfect wireless links plus a seeded broker-failure schedule — and the
+    protocol cycles deterministically through all four so any seed count
+    >= 4 covers the whole matrix. The crash rows of the invariant matrix
+    (losses fully accounted including crash write-offs, one repair per
+    failure event, live post-repair traffic) are asserted on top of the
+    standard rows.
+    """
 
     def __init__(
         self,
         n_scenarios: int = 30,
         master_seed: int = 0,
         cross_engine: bool = True,
+        crash_lane: bool = False,
     ) -> None:
         self.n_scenarios = n_scenarios
         self.master_seed = master_seed
         self.cross_engine = cross_engine
+        self.crash_lane = crash_lane
 
     def scenario_seeds(self) -> list[int]:
         rnd = random.Random(self.master_seed)
         return [rnd.randrange(2**31) for _ in range(self.n_scenarios)]
 
-    def run_one(self, scenario_seed: int) -> ScenarioResult:
-        scenario = Scenario.from_seed(scenario_seed)
+    def run_one(
+        self, scenario_seed: int, protocol: Optional[str] = None
+    ) -> ScenarioResult:
+        if self.crash_lane:
+            scenario = Scenario.crash_from_seed(scenario_seed, protocol)
+        else:
+            scenario = Scenario.from_seed(scenario_seed)
         primary = run_scenario(scenario, *ENGINE_BUNDLES[0])
         violations = check_invariants(scenario, primary)
         if self.cross_engine:
@@ -309,15 +376,23 @@ class ScenarioFuzzer:
                 ]
                 violations += compare_outcomes(primary, alt)
         return ScenarioResult(
-            scenario_seed, scenario.protocol, scenario.label(), violations
+            scenario_seed,
+            scenario.protocol,
+            scenario.label(),
+            violations,
+            crash_lane=self.crash_lane,
+            forced_protocol=protocol,
         )
 
     def run(
         self, progress: Optional[Callable[[str], None]] = None
     ) -> FuzzReport:
         report = FuzzReport(master_seed=self.master_seed)
-        for seed in self.scenario_seeds():
-            result = self.run_one(seed)
+        for i, seed in enumerate(self.scenario_seeds()):
+            # crash lane: cycle protocols so coverage is guaranteed, not
+            # merely probable, over the whole failure-scenario batch
+            protocol = PROTOCOLS[i % len(PROTOCOLS)] if self.crash_lane else None
+            result = self.run_one(seed, protocol)
             report.results.append(result)
             if progress is not None:
                 status = "PASS" if result.passed else "FAIL"
@@ -349,6 +424,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--no-cross-engine", action="store_true",
                         help="skip the legacy-engine identity re-runs "
                              "(half the runtime, engine coverage lost)")
+    parser.add_argument("--crash-lane", action="store_true",
+                        help="fuzz the broker-failure lane: perfect links "
+                             "plus seeded crash/restart/partition schedules, "
+                             "protocols cycled for guaranteed coverage")
+    parser.add_argument("--protocol", choices=PROTOCOLS, default=None,
+                        help="force the protocol (crash-lane replays; "
+                             "batch runs cycle protocols automatically)")
     parser.add_argument("--out", default=None, metavar="PATH",
                         help="write the full report (incl. every scenario "
                              "seed + replay command) as JSON")
@@ -358,9 +440,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         n_scenarios=args.scenarios,
         master_seed=args.master_seed,
         cross_engine=not args.no_cross_engine,
+        crash_lane=args.crash_lane,
     )
     if args.scenario_seed is not None:
-        result = fuzzer.run_one(args.scenario_seed)
+        result = fuzzer.run_one(args.scenario_seed, args.protocol)
         report = FuzzReport(master_seed=args.master_seed, results=[result])
         print(("PASS " if result.passed else "FAIL ") + result.label)
         for violation in result.violations:
@@ -381,8 +464,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if n_failed:
         print("replay failing scenarios byte-identically with:")
         for r in report.failures:
-            print(f"  python -m repro.conformance.fuzzer "
-                  f"--scenario-seed {r.seed}")
+            print(f"  {r.replay_command()}")
         return 1
     return 0
 

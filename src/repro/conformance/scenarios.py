@@ -20,11 +20,14 @@ too.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import Any, Mapping
+from dataclasses import dataclass, field, replace
+from typing import Any, Mapping, Optional
 
+from repro.errors import ConfigurationError
 from repro.experiments.config import ExperimentConfig
 from repro.network.faults import FaultProfile
+from repro.network.recovery import CrashEvent, CrashPlan
+from repro.network.topology import grid_topology
 from repro.workload.spec import WorkloadSpec
 
 __all__ = ["Scenario", "PROTOCOLS", "ENGINE_BUNDLES"]
@@ -69,6 +72,7 @@ class Scenario:
     mobility_params: Mapping[str, Any] = field(default_factory=dict)
     topic_skew: float = 0.0
     faults: FaultProfile = field(default_factory=FaultProfile)
+    crashes: CrashPlan = field(default_factory=CrashPlan)
 
     # ------------------------------------------------------------------
     @classmethod
@@ -122,6 +126,83 @@ class Scenario:
         )
 
     # ------------------------------------------------------------------
+    @classmethod
+    def crash_from_seed(
+        cls, scenario_seed: int, protocol: Optional[str] = None
+    ) -> "Scenario":
+        """The crash-lane variant of the scenario named by ``scenario_seed``.
+
+        Builds the base scenario with :meth:`from_seed` (so both lanes share
+        one sampling space), then layers a seeded broker-failure schedule on
+        top from an *independent* random stream — the base draw order is
+        untouched, keeping plain-lane replays byte-identical. Wireless
+        faults are disabled in this lane: with perfect links, every loss in
+        the run is attributable to the crash model, which is exactly what
+        the crash invariants assert.
+
+        ``protocol`` overrides the sampled protocol so the fuzzer can cycle
+        all four protocols over any seed range.
+        """
+        from repro.pubsub.recovery import validate_plan
+
+        base = cls.from_seed(scenario_seed)
+        if protocol is not None:
+            base = replace(base, protocol=protocol)
+        # Independent, stable stream (str seeding hashes with SHA-512, so
+        # the sequence is identical across platforms and Python builds).
+        rnd = random.Random(f"crash-lane:{scenario_seed}")
+        topo = grid_topology(base.grid_k)
+        n = topo.n
+        duration_ms = base.duration_s * 1000.0
+        edges = [(u, v) for u, v, _w in topo.edges()]
+        shapes = (
+            "crash",
+            "crash",
+            "crash+restart",
+            "partition",
+            "crash+partition",
+        )
+        for _attempt in range(100):
+            shape = rnd.choice(shapes)
+            # All failures land in the first ~60% of the measurement
+            # window and every repair completes by ~80%, so the surviving
+            # overlay carries live post-repair traffic before the drain.
+            t1 = rnd.uniform(0.2, 0.55) * duration_ms
+            events: list[CrashEvent] = []
+            if shape in ("crash", "crash+restart", "crash+partition"):
+                events.append(
+                    CrashEvent("crash", time_ms=t1, broker=rnd.randrange(n))
+                )
+                if shape == "crash+restart":
+                    t2 = min(
+                        t1 + rnd.uniform(10.0, 60.0) * 1000.0,
+                        0.8 * duration_ms,
+                    )
+                    events.append(
+                        CrashEvent(
+                            "restart", time_ms=t2, broker=events[0].broker
+                        )
+                    )
+            if shape in ("partition", "crash+partition"):
+                t_cut = t1 if shape == "partition" else rnd.uniform(
+                    0.2, 0.55
+                ) * duration_ms
+                events.append(
+                    CrashEvent(
+                        "partition", time_ms=t_cut, edge=rnd.choice(edges)
+                    )
+                )
+            plan = CrashPlan(events=tuple(events))
+            try:
+                validate_plan(topo, plan)
+            except ConfigurationError:
+                continue  # e.g. the cut + crash disconnects the survivors
+            return replace(base, faults=FaultProfile(), crashes=plan)
+        raise ConfigurationError(  # pragma: no cover - 100 draws on a grid
+            f"no valid crash plan found for scenario seed {scenario_seed}"
+        )
+
+    # ------------------------------------------------------------------
     def workload(self) -> WorkloadSpec:
         return WorkloadSpec(
             clients_per_broker=self.clients_per_broker,
@@ -151,12 +232,17 @@ class Scenario:
             matching_engine=matching_engine,
             covering_index=covering_index,
             faults=self.faults if self.faults.active else None,
+            crashes=self.crashes if self.crashes.active else None,
         )
 
     def label(self) -> str:
+        crash_tag = (
+            f" [{self.crashes.label()}]" if self.crashes.active else ""
+        )
         return (
             f"seed={self.scenario_seed} {self.protocol} k={self.grid_k} "
             f"cpb={self.clients_per_broker} mob={self.mobility_model} "
             f"skew={self.topic_skew:g} conn={self.mean_connected_s:g}s "
             f"disc={self.mean_disconnected_s:g}s [{self.faults.label()}]"
+            f"{crash_tag}"
         )

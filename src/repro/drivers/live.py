@@ -334,6 +334,7 @@ def run_virtual_scenario(cfg: "ExperimentConfig") -> "PubSubSystem":
         matching_engine=cfg.matching_engine,
         covering_index=cfg.covering_index,
         faults=cfg.faults,
+        crashes=cfg.crashes,
         driver=LiveDriver(clock),
     )
     system.metrics.delivery.record_log = True
@@ -348,6 +349,7 @@ def run_virtual_scenario(cfg: "ExperimentConfig") -> "PubSubSystem":
         raise SimulationError(
             "drain deadlock: live clock idle but protocol not quiescent"
         )
+    system.metrics.delivery.finalize_crash_accounting()
     return system
 
 
@@ -374,10 +376,19 @@ class SoakResult:
 
 
 def _soak_violations(
-    protocol: str, stats: "DeliveryStats", drops: int, dups: int
+    protocol: str,
+    stats: "DeliveryStats",
+    drops: int,
+    dups: int,
+    crash_events: int = 0,
+    repairs: int = 0,
 ) -> list[str]:
     """The conformance fuzzer's invariant matrix, applied to a live run."""
     v: list[str] = []
+    if crash_events and repairs != crash_events:
+        v.append(
+            f"repairs={repairs} != scheduled failure events {crash_events}"
+        )
     if stats.missing != 0:
         v.append(f"missing={stats.missing} deliveries unaccounted for")
     if stats.duplicates != dups:
@@ -414,6 +425,7 @@ def run_soak(
     mean_disconnected_s: float = 0.5,
     publish_interval_s: float = 1.0,
     faults: Optional[Any] = None,
+    crashes: Optional[Any] = None,
     drain_timeout_s: float = 60.0,
 ) -> SoakResult:
     """Run a live churn workload on an asyncio loop and audit delivery.
@@ -436,6 +448,7 @@ def run_soak(
             protocol=protocol,
             seed=seed,
             faults=faults,
+            crashes=crashes,
             driver=LiveDriver(clock),
         )
         spec = WorkloadSpec(
@@ -467,8 +480,24 @@ def run_soak(
     injector = system.fault_injector
     drops = injector.drops if injector is not None else 0
     dups = injector.dups_delivered if injector is not None else 0
+    system.metrics.delivery.finalize_crash_accounting()
     stats = system.metrics.delivery.stats
-    violations = _soak_violations(protocol, stats, drops, dups) if drained else []
+    # audit even when the drain timed out — the named invariant violations
+    # (not a bare drain failure) are what the CLI surfaces on exit
+    violations = _soak_violations(
+        protocol,
+        stats,
+        drops,
+        dups,
+        crash_events=len(crashes.events) if crashes is not None else 0,
+        repairs=system.recovery.repairs if system.recovery else 0,
+    )
+    if not drained:
+        violations.insert(
+            0,
+            f"drain did not reach quiescence within {drain_timeout_s}s "
+            f"(pending work or a stuck protocol; ledger audit below)",
+        )
     return SoakResult(
         protocol=protocol,
         wall_seconds=wall,

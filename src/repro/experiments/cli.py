@@ -23,6 +23,12 @@ models (:mod:`repro.workload.models`). All default off — the plain
 invocation reproduces the paper bit-for-bit. The fault flags apply to
 ``soak`` too.
 
+Broker failures (soak only): ``--broker-crash B@T`` / ``--broker-restart
+B@T`` / ``--link-partition A-B@T`` schedule overlay failures at model
+second ``T`` (repeatable; see :mod:`repro.network.recovery`); the repair
+round runs ``--crash-repair-delay`` model ms after each failure. The
+post-drain audit then also checks the crash rows of the invariant matrix.
+
 Installed entry point: ``mhh-repro`` (see ``setup.cfg``).
 """
 
@@ -45,11 +51,20 @@ _SOAK_PROTOCOLS = ("mhh", "sub-unsub", "two-phase", "home-broker")
 
 def _run_soak(args, faults: Optional[FaultProfile]) -> int:
     from repro.drivers.live import run_soak
+    from repro.network.recovery import CrashPlan
 
+    crashes = None
+    if args.broker_crash or args.broker_restart or args.link_partition:
+        crashes = CrashPlan.parse(
+            crashes=args.broker_crash,
+            restarts=args.broker_restart,
+            partitions=args.link_partition,
+            repair_delay_ms=args.crash_repair_delay,
+        )
     protocols = (
         _SOAK_PROTOCOLS if args.protocol == "all" else (args.protocol,)
     )
-    failed = False
+    failures: list[tuple[str, list[str]]] = []
     for protocol in protocols:
         result = run_soak(
             protocol,
@@ -58,6 +73,7 @@ def _run_soak(args, faults: Optional[FaultProfile]) -> int:
             duration_s=args.duration,
             time_scale=args.time_scale,
             faults=faults,
+            crashes=crashes,
         )
         st = result.stats
         status = "PASS" if result.passed else "FAIL"
@@ -69,12 +85,22 @@ def _run_soak(args, faults: Optional[FaultProfile]) -> int:
             f"dups={st.duplicates} lost={st.lost_explicit} "
             f"missing={st.missing}"
         )
-        if not result.drained:
-            print("     - drain did not reach quiescence in time")
         for violation in result.violations:
             print(f"     - {violation}")
-        failed = failed or not result.passed
-    return 1 if failed else 0
+        if not result.passed:
+            failures.append((protocol, result.violations))
+    if failures:
+        # the non-zero exit names every violated invariant, so a CI log's
+        # last line is already the diagnosis
+        print(
+            "soak FAILED: "
+            + "; ".join(
+                f"{proto}: {violations[0] if violations else 'unknown'}"
+                for proto, violations in failures
+            )
+        )
+        return 1
+    return 0
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -123,6 +149,21 @@ def main(argv: Sequence[str] | None = None) -> int:
                            "10 ms wired hop takes 2 ms of wall time)")
     soak.add_argument("--soak-grid", type=int, default=None, metavar="K",
                       help="grid size for the soak (default 3)")
+    soak.add_argument("--broker-crash", action="append", default=None,
+                      metavar="B@T",
+                      help="crash broker B at model second T (repeatable)")
+    soak.add_argument("--broker-restart", action="append", default=None,
+                      metavar="B@T",
+                      help="restart broker B (empty state) at model "
+                           "second T (repeatable)")
+    soak.add_argument("--link-partition", action="append", default=None,
+                      metavar="A-B@T",
+                      help="partition overlay link A-B at model second T "
+                           "(repeatable)")
+    soak.add_argument("--crash-repair-delay", type=float, default=None,
+                      metavar="MS",
+                      help="model ms between a failure event and its "
+                           "repair round (default 500)")
     args = parser.parse_args(argv)
 
     # --seed and the fault flags are shared; everything else is scoped to
@@ -130,7 +171,9 @@ def main(argv: Sequence[str] | None = None) -> int:
     # flag *explicitly* passed — even at its documented default value —
     # is rejected in the wrong mode instead of being silently ignored;
     # the real defaults are filled in below, after the check.
-    soak_only = ("protocol", "duration", "time_scale", "soak_grid")
+    soak_only = ("protocol", "duration", "time_scale", "soak_grid",
+                 "broker_crash", "broker_restart", "link_partition",
+                 "crash_repair_delay")
     figure_only = ("scale", "workers", "raw", "mobility", "topic_skew")
     stray = [
         name
@@ -155,6 +198,15 @@ def main(argv: Sequence[str] | None = None) -> int:
         args.time_scale = 5.0
     if args.soak_grid is None:
         args.soak_grid = 3
+    if args.broker_crash is None:
+        args.broker_crash = []
+    if args.broker_restart is None:
+        args.broker_restart = []
+    if args.link_partition is None:
+        args.link_partition = []
+    if args.crash_repair_delay is None:
+        from repro.network.recovery import DEFAULT_REPAIR_DELAY_MS
+        args.crash_repair_delay = DEFAULT_REPAIR_DELAY_MS
 
     faults = None
     if args.loss or args.dup or args.jitter:

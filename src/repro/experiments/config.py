@@ -20,6 +20,7 @@ from typing import Any, Optional
 
 from repro.errors import ConfigurationError
 from repro.network.faults import FaultProfile
+from repro.network.recovery import CrashPlan
 from repro.workload.spec import WorkloadSpec
 
 __all__ = ["ExperimentConfig", "SCALES", "bench_scale"]
@@ -52,6 +53,9 @@ class ExperimentConfig:
     #: wireless fault profile (None = perfect links; see
     #: repro.network.faults)
     faults: Optional[FaultProfile] = None
+    #: broker crash/restart/partition schedule (None = crash-free; see
+    #: repro.network.recovery)
+    crashes: Optional[CrashPlan] = None
 
     def with_workload(self, **changes: Any) -> "ExperimentConfig":
         return replace(self, workload=replace(self.workload, **changes))
@@ -62,11 +66,17 @@ class ExperimentConfig:
             if self.faults is not None and self.faults.active
             else ""
         )
+        crash_tag = (
+            f" [{self.crashes.label()}]"
+            if self.crashes is not None and self.crashes.active
+            else ""
+        )
         return (
             f"{self.protocol} k={self.grid_k} "
             f"conn={self.workload.mean_connected_s:g}s "
             f"disc={self.workload.mean_disconnected_s:g}s "
-            f"T={self.workload.duration_s:g}s seed={self.seed}{fault_tag}"
+            f"T={self.workload.duration_s:g}s seed={self.seed}"
+            f"{fault_tag}{crash_tag}"
         )
 
 

@@ -40,6 +40,7 @@ def build_system(cfg: ExperimentConfig) -> tuple[PubSubSystem, Workload]:
         covering_index=cfg.covering_index,
         matching_engine=cfg.matching_engine,
         faults=cfg.faults,
+        crashes=cfg.crashes,
     )
     workload = Workload(system, cfg.workload)
     return system, workload
@@ -106,6 +107,7 @@ def drain_to_quiescence(
         system.sim.run(until=deadline)
         if system.sim.peek() is None:
             if system.protocol.quiescent():
+                system.metrics.delivery.finalize_crash_accounting()
                 return
             raise SimulationError(
                 "drain deadlock: event heap empty but protocol not quiescent"

@@ -38,11 +38,20 @@ class DeliveryStats:
     duplicates: int = 0
     order_violations: int = 0
     lost_explicit: int = 0
+    #: deliveries lost to broker crashes / overlay partitions, reconciled
+    #: from the at-risk pair marking (see ``DeliveryChecker.crash_lost``);
+    #: always 0 for crash-free runs
+    crash_lost: int = 0
 
     @property
     def missing(self) -> int:
         """Expected deliveries neither performed nor explicitly lost."""
-        return self.expected - (self.delivered - self.duplicates) - self.lost_explicit
+        return (
+            self.expected
+            - (self.delivered - self.duplicates)
+            - self.lost_explicit
+            - self.crash_lost
+        )
 
 
 class DeliveryChecker:
@@ -68,6 +77,59 @@ class DeliveryChecker:
         # optional sink recording (client, event_id, time) tuples
         self.record_log = False
         self.log: list[tuple[int, int, float]] = []
+        # crash-loss accounting (inert unless a CrashPlan is active):
+        # (client, event_id) -> (publisher, seq) for every delivery put at
+        # risk by a crash/partition; reconciled in crash_lost()
+        self._track_crash = False
+        self._crash_marked: dict[tuple[int, int], tuple[int, int]] = {}
+        # (client, event_id) pairs lost through the *fault* path while
+        # crash tracking is on, so a marked pair that the wireless fault
+        # injector happened to drop is not double-counted
+        self._lost_pairs: set[tuple[int, int]] = set()
+
+    # ------------------------------------------------------------------
+    # crash-loss accounting (the accounted-loss crash model)
+    # ------------------------------------------------------------------
+    def enable_crash_tracking(self) -> None:
+        self._track_crash = True
+
+    def mark_crash_risk(self, client: int, event: Notification) -> None:
+        """Record that ``client``'s delivery of ``event`` is crash-exposed.
+
+        Over-marking is harmless: a marked pair that is delivered anyway
+        (or lost through the fault path) reconciles to zero in
+        :meth:`crash_lost`. Callers only mark pairs the subscription model
+        actually expects, keeping the ledger exact.
+        """
+        self._crash_marked[(client, event.event_id)] = (
+            event.publisher, event.seq
+        )
+
+    def delivered_pair(self, client: int, event: Notification) -> bool:
+        """Was ``event`` (by publisher/seq identity) delivered to ``client``?"""
+        seen = self._seen.get((client, event.publisher))
+        return seen is not None and event.seq in seen
+
+    def max_delivered_seq(self, client: int, publisher: int) -> int:
+        """Highest seq from ``publisher`` delivered to ``client`` (-1 if none)."""
+        return self._max_seq.get((client, publisher), -1)
+
+    def crash_lost(self) -> int:
+        """At-risk pairs that were neither delivered nor fault-lost."""
+        lost = 0
+        for (client, event_id), (publisher, seq) in self._crash_marked.items():
+            seen = self._seen.get((client, publisher))
+            if seen is not None and seq in seen:
+                continue
+            if (client, event_id) in self._lost_pairs:
+                continue
+            lost += 1
+        return lost
+
+    def finalize_crash_accounting(self) -> None:
+        """Fold the reconciled crash losses into :attr:`stats` (end of run)."""
+        if self._track_crash:
+            self.stats.crash_lost = self.crash_lost()
 
     # ------------------------------------------------------------------
     def register_subscription(self, client: int, lo: float, hi: float) -> None:
@@ -126,6 +188,8 @@ class DeliveryChecker:
     def on_loss(self, client: int, event: Notification) -> None:
         """An event for ``client`` was irrecoverably dropped (home-broker)."""
         self.stats.lost_explicit += 1
+        if self._track_crash:
+            self._lost_pairs.add((client, event.event_id))
 
     # ------------------------------------------------------------------
     def per_client_missing(self) -> dict[int, int]:

@@ -115,6 +115,58 @@ class MobilityProtocol:
         )
 
     # ------------------------------------------------------------------
+    # crash recovery (inert unless a CrashPlan is active)
+    # ------------------------------------------------------------------
+    def later(self, broker: "Broker", delay: float, fn, *args) -> None:
+        """Schedule a protocol timer owned by ``broker``.
+
+        Without an active recovery coordinator this is a plain
+        ``clock.call_later`` — byte-identical to the pre-crash behaviour.
+        With one, the timer is generation-stamped: it is silently skipped
+        if a repair round has run since it was armed or if its owning
+        broker is down, so stale continuations never act on rebuilt state.
+        """
+        rec = self.system.recovery
+        if rec is None:
+            self.clock.call_later(delay, fn, *args)
+        else:
+            self.clock.call_later(delay, rec.guarded, broker.id,
+                                  rec.generation, fn, args)
+
+    def install_recovered(
+        self, broker: "Broker", client: "object", backlog: list[Notification]
+    ) -> ClientEntry:
+        """Install canonical *offline* state for ``client`` at ``broker``
+        during a repair round, seeding its stored-event queue with
+        ``backlog`` (publish-ordered survivors gathered from live brokers).
+
+        Must not advertise — the coordinator floods the returned entry
+        synchronously so the rebuilt routing state equals a from-scratch
+        construction. A subsequent synthesized ``on_connect`` (for clients
+        that were connected when the repair ran) brings the entry live.
+        """
+        raise NotImplementedError
+
+    def recovery_anchor(
+        self, client: "object", alive: set, default: int
+    ) -> int:
+        """Pick the live broker a repair round should root ``client``'s
+        subscription at. ``default`` is the coordinator's choice (current
+        broker if connected, else last/home/lowest live); protocols with a
+        fixed rooting rule override (home-broker re-homes)."""
+        return default
+
+    def on_repair_reset(self) -> None:
+        """Drop protocol-global scratch state after the overlay was rebuilt
+        (called once per repair round, after the new tree is swapped in)."""
+
+    def gather_stray(self, broker: "Broker"):
+        """Yield ``(client, event)`` pairs held by ``broker`` outside its
+        persistent queues (e.g. transfer buffers), so a repair round can
+        account for — or salvage — them."""
+        return ()
+
+    # ------------------------------------------------------------------
     # end-of-run support
     # ------------------------------------------------------------------
     def quiescent(self) -> bool:

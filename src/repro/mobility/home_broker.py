@@ -261,8 +261,8 @@ class HomeBrokerProtocol(MobilityProtocol):
                 broker.id, st.location, m.ForwardedBatch(client, batch)
             )
         if len(q):
-            self.clock.call_later(
-                max(self.system.stream_pacing_ms, 1e-9),
+            self.later(
+                broker, max(self.system.stream_pacing_ms, 1e-9),
                 self._drain_step, broker, client,
             )
         else:
@@ -294,6 +294,43 @@ class HomeBrokerProtocol(MobilityProtocol):
                     event=event.event_id,
                 )
                 self.system.metrics.on_loss(client, event)
+
+    # ------------------------------------------------------------------
+    # crash recovery
+    # ------------------------------------------------------------------
+    def recovery_anchor(self, client, alive, default):
+        # the subscription entry must live at the home broker; if the home
+        # died, the client is re-homed to the nearest live broker (lowest id
+        # on ties) — deterministic, and permanent like any home assignment
+        if client.home_broker not in alive:
+            paths = self.system.paths
+            old_home = client.home_broker
+            client.home_broker = min(
+                alive, key=lambda b: (paths.hop_count(old_home, b), b)
+            )
+            self.system.tracer.emit(
+                "hb_rehome", client=client.id, frm=old_home,
+                to=client.home_broker,
+            )
+        return client.home_broker
+
+    def install_recovered(self, broker, client, backlog):
+        """Repair-round install at the (possibly re-assigned) home broker:
+        a disconnected-state record whose stored queue holds the backlog.
+        The synthesized ``on_connect`` then follows the normal reconnect
+        paths (flush at home, register from a foreign broker)."""
+        st = _HomeState()
+        st.location = None
+        q = broker.new_queue(client.id)
+        for event in backlog:
+            q.append(event)
+        st.queue = q.ref
+        broker.pstate[client.id] = st
+        entry = ClientEntry(
+            client.id, ("hb", client.id), client.filter, live=False
+        )
+        broker.table.set_client_entry(entry)
+        return entry
 
     # ------------------------------------------------------------------
     def quiescent(self) -> bool:

@@ -70,7 +70,6 @@ from repro.pubsub.events import Notification
 from repro.pubsub.filter_table import ClientEntry
 from repro.pubsub import messages as m
 from repro.mobility.base import MobilityProtocol
-from repro.util import chunked
 from repro.util.ids import QueueRef
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -139,8 +138,8 @@ class _LocalStreamJob:
                 m.MigrateBatch(self.client, batch, self.append_to),
             )
         if len(q):
-            protocol.clock.call_later(
-                max(system.stream_pacing_ms, 1e-9), self._step
+            protocol.later(
+                self.broker, max(system.stream_pacing_ms, 1e-9), self._step
             )
         else:
             self.broker.drop_queue(self.ref)
@@ -756,24 +755,33 @@ class MHHProtocol(MobilityProtocol):
         """
         q = broker.get_queue(ref)
         q.freeze()
-        events = q.drain()
-        broker.drop_queue(ref)
+        # pop batch-by-batch off the live (frozen, so append-proof) queue at
+        # dispatch time rather than draining it upfront: identical timers
+        # and batches, but events not yet shipped stay visible in the queue,
+        # so a crash-repair round gathers them instead of losing them
+        # inside timer closures
+        batch_size = self.system.migration_batch_size
         pacing = self.system.stream_pacing_ms
-        batches = list(chunked(events, self.system.migration_batch_size))
-        clock = self.clock
+        n_batches = -(-len(q) // batch_size)
 
-        def dispatch(batch):
-            self.net.unicast(
-                broker.id, dest, m.MigrateBatch(client, batch, append_to)
-            )
+        def dispatch() -> None:
+            batch = [q.popleft() for _ in range(min(len(q), batch_size))]
+            if batch:
+                self.net.unicast(
+                    broker.id, dest, m.MigrateBatch(client, batch, append_to)
+                )
 
-        for i, batch in enumerate(batches):
+        def complete() -> None:
+            broker.drop_queue(ref)
+            on_complete()
+
+        for i in range(n_batches):
             if i == 0:
-                dispatch(batch)
+                dispatch()
             else:
-                clock.call_later(i * pacing, dispatch, batch)
-        delay = (len(batches) - 1) * pacing if len(batches) > 1 else 0.0
-        clock.call_later(delay, on_complete)
+                self.later(broker, i * pacing, dispatch)
+        delay = (n_batches - 1) * pacing if n_batches > 1 else 0.0
+        self.later(broker, delay, complete)
 
     def _local_queue_done(self, broker: "Broker", client: int, ref: QueueRef) -> None:
         st = broker.pstate.get(client)
@@ -1116,6 +1124,29 @@ class MHHProtocol(MobilityProtocol):
         ]
         if events:
             broker.get_queue(ref).extend_front(events)
+
+    # ------------------------------------------------------------------
+    # crash recovery
+    # ------------------------------------------------------------------
+    def install_recovered(self, broker, client, backlog):
+        """Repair-round install: a settled offline anchor whose tail queue
+        holds the gathered backlog. The coordinator floods the entry and,
+        for connected clients, synthesizes ``on_connect`` — which takes the
+        normal reconnect-at-anchor path and flushes the tail."""
+        st = self._state(broker, client.id)
+        st.epoch = client.connect_epoch
+        anchor = _Anchor(self._key(client.id), client.filter)
+        tail = broker.new_queue(client.id)
+        for event in backlog:
+            tail.append(event)
+        anchor.pqlist = [tail.ref]
+        entry = ClientEntry(
+            client.id, anchor.key, client.filter,
+            live=False, sink=tail.ref.qid,
+        )
+        broker.table.set_client_entry(entry)
+        st.anchor = anchor
+        return entry
 
     # ------------------------------------------------------------------
     def quiescent(self) -> bool:

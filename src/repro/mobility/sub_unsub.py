@@ -41,7 +41,6 @@ from repro.pubsub.events import Notification
 from repro.pubsub.filter_table import ClientEntry
 from repro.pubsub import messages as m
 from repro.mobility.base import MobilityProtocol
-from repro.util import chunked
 from repro.util.ids import QueueRef
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -196,10 +195,9 @@ class SubUnsubProtocol(MobilityProtocol):
         self.system.tracer.emit(
             "su_handoff_start", client=client, frm=last_broker, to=broker.id
         )
-        self.clock.call_later(
-            self.safety_interval_ms,
-            self._send_transfer_request,
-            broker, client, epoch,
+        self.later(
+            broker, self.safety_interval_ms,
+            self._send_transfer_request, broker, client, epoch,
         )
 
     def _reconnect_at_root(
@@ -355,35 +353,45 @@ class SubUnsubProtocol(MobilityProtocol):
             "su_unsubscribe", client=client, broker=broker.id,
             epoch=old_root.epoch,
         )
-        events: list[Notification] = []
-        if old_root.queue is not None:
-            q = broker.get_queue(old_root.queue)
-            events = q.drain()
-            broker.drop_queue(old_root.queue)
         # paced dispatch: one batch per link slot; TransferDone trails the
-        # last batch on the same path (FIFO), so the merge sees everything
-        clock = self.clock
+        # last batch on the same path (FIFO), so the merge sees everything.
+        # Batches pop off the live (frozen) queue at dispatch time — same
+        # timers and contents as an upfront drain, but unshipped events stay
+        # visible to a crash-repair round instead of hiding in closures.
+        qref = old_root.queue
+        q = None
+        n_batches = 0
+        batch_size = self.system.migration_batch_size
+        if qref is not None:
+            q = broker.get_queue(qref)
+            q.freeze()
+            n_batches = -(-len(q) // batch_size)
         pacing = self.system.stream_pacing_ms
-        batches = list(chunked(events, self.system.migration_batch_size))
 
-        def send_batch(batch):
-            self.net.unicast(
-                broker.id, msg.new_broker,
-                m.TransferBatch(client, msg.epoch, batch),
-            )
+        def send_batch():
+            batch = [q.popleft() for _ in range(min(len(q), batch_size))]
+            if batch:
+                self.net.unicast(
+                    broker.id, msg.new_broker,
+                    m.TransferBatch(client, msg.epoch, batch),
+                )
 
-        for i, batch in enumerate(batches):
+        for i in range(n_batches):
             if i == 0:
-                send_batch(batch)
+                send_batch()
             else:
-                clock.call_later(i * pacing, send_batch, batch)
+                self.later(broker, i * pacing, send_batch)
         done = m.TransferDone(
             client, msg.epoch, frozenset(old_root.delivered_ids)
         )
-        delay = (len(batches) - 1) * pacing if len(batches) > 1 else 0.0
-        clock.call_later(
-            delay, self.net.unicast, broker.id, msg.new_broker, done
-        )
+
+        def send_done():
+            if qref is not None:
+                broker.drop_queue(qref)
+            self.net.unicast(broker.id, msg.new_broker, done)
+
+        delay = (n_batches - 1) * pacing if n_batches > 1 else 0.0
+        self.later(broker, delay, send_done)
         roots = broker.pstate[client]
         del roots[old_root.epoch]
         self._gc(broker, client)
@@ -412,7 +420,7 @@ class SubUnsubProtocol(MobilityProtocol):
         merge_at = handoff.t0 + 2.0 * self.safety_interval_ms
         delay = max(0.0, merge_at - self.clock.now)
         handoff.merge_scheduled = True
-        self.clock.call_later(delay, self._merge, broker, msg.client, root)
+        self.later(broker, delay, self._merge, broker, msg.client, root)
 
     def _root_for_epoch(self, broker: "Broker", client: int, epoch: int) -> _Root:
         roots = broker.pstate.get(client)
@@ -461,6 +469,44 @@ class SubUnsubProtocol(MobilityProtocol):
         if root.deferred_transfer is not None:
             msg, root.deferred_transfer = root.deferred_transfer, None
             self._execute_transfer(broker, msg, root)
+
+    # ------------------------------------------------------------------
+    # crash recovery
+    # ------------------------------------------------------------------
+    def install_recovered(self, broker, client, backlog):
+        """Repair-round install: a fresh stored root seeded with the
+        gathered backlog; a synthesized ``on_connect`` (same-broker
+        reconnect) flushes it for clients that were connected."""
+        roots = self._roots(broker, client.id)
+        epoch = self._next_epoch(client.id)
+        key = (client.id, epoch)
+        root = _Root(epoch, key)
+        roots[epoch] = root
+        q = broker.new_queue(client.id)
+        for event in backlog:
+            q.append(event)
+        root.queue = q.ref
+        entry = ClientEntry(
+            client.id, key, client.filter, live=False, sink=q.ref.qid
+        )
+        broker.table.set_client_entry(entry)
+        return entry
+
+    def on_repair_reset(self) -> None:
+        # the repaired overlay has a new diameter; handoffs started after
+        # the repair must wait out its worst-case propagation time
+        self.safety_interval_ms = (
+            self.system.tree.diameter() * self.system.net.wired_latency
+        )
+
+    def gather_stray(self, broker: "Broker"):
+        for client, roots in broker.pstate.items():
+            if not isinstance(roots, dict):
+                continue
+            for root in roots.values():
+                if root.handoff is not None:
+                    for event in root.handoff.transferred:
+                        yield (client, event)
 
     # ------------------------------------------------------------------
     def quiescent(self) -> bool:

@@ -115,6 +115,11 @@ class TwoPhaseProtocol(MHHProtocol):
             om = anchor.out_migration
             path = self.system.paths.path(broker.id, om.dest)
             targets = sorted(set(path))
+            rec = self.system.recovery
+            if rec is not None:
+                # a dead broker holds no lane and can never answer a
+                # GrantRequest; asking it would hang the prepare forever
+                targets = [t for t in targets if not rec.is_down(t)]
             prep = _Prepare(targets, anchor)
             self._preparing[key] = prep
             self._request_next_grant(broker, client, prep)
@@ -228,6 +233,20 @@ class TwoPhaseProtocol(MHHProtocol):
         super()._do_stop(broker, client, anchor)
         if anchor.out_migration is None:
             self._release_all(broker, client)
+
+    # ------------------------------------------------------------------
+    # crash recovery
+    # ------------------------------------------------------------------
+    def on_repair_reset(self) -> None:
+        # lane grants are scoped to the pre-repair overlay: every handoff
+        # they guarded was wiped, so release everything (the repair round
+        # reinstalls subscriptions from ground truth; holding stale lanes
+        # would serialize — or deadlock — post-repair handoffs against
+        # migrations that no longer exist)
+        self._lane_holder.clear()
+        self._lane_queue.clear()
+        self._preparing.clear()
+        self._held.clear()
 
     # ------------------------------------------------------------------
     def quiescent(self) -> bool:

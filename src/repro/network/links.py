@@ -212,6 +212,10 @@ class LinkLayer:
         self.account: AccountFn = account or _no_account
         #: wireless fault injector (None = perfect links, the default)
         self.faults = faults
+        #: broker crash/recovery coordinator (repro.pubsub.recovery); None
+        #: — the default — keeps every path below byte-identical to the
+        #: crash-free link layer (one attribute test per wired send)
+        self.recovery = None
         # hop metric for multi-hop unicast; defaults to grid shortest paths
         # (paper §5.1); the tree-routing ablation overrides it
         self._unicast_hops = unicast_hops or paths.hop_count
@@ -255,6 +259,17 @@ class LinkLayer:
         """One wired hop between adjacent brokers (tree or grid edge)."""
         if not self.topo.has_edge(frm, to):
             raise RoutingError(f"brokers {frm} and {to} are not adjacent")
+        rec = self.recovery
+        if rec is not None:
+            if rec.is_down(to) or rec.edge_cut(frm, to):
+                rec.on_dropped_message(msg)
+                return
+            self.account(msg.category, 1, False)
+            self.clock.call_later_fifo(
+                self.wired_latency, self._deliver_guarded,
+                to, msg, frm, rec.generation,
+            )
+            return
         self.account(msg.category, 1, False)
         self.clock.call_later_fifo(
             self.wired_latency, self._deliver_broker, to, msg, frm
@@ -267,6 +282,19 @@ class LinkLayer:
         ``hops * wired_latency``. ``frm == to`` delivers after zero delay
         (still FIFO-ordered behind messages already scheduled for now).
         """
+        rec = self.recovery
+        if rec is not None:
+            if rec.is_down(to):
+                rec.on_dropped_message(msg)
+                return
+            hops = self._unicast_hops(frm, to) if frm != to else 0
+            if hops:
+                self.account(msg.category, hops, False)
+            self.clock.call_later_fifo(
+                hops * self.wired_latency, self._deliver_guarded,
+                to, msg, frm, rec.generation,
+            )
+            return
         hops = self._unicast_hops(frm, to) if frm != to else 0
         if hops:
             self.account(msg.category, hops, False)
@@ -280,6 +308,22 @@ class LinkLayer:
             raise RoutingError(f"no broker registered with id {to}")
         rx(msg, frm)
 
+    def _deliver_guarded(self, to: int, msg: Any, frm: int, gen: int) -> None:
+        """Wired delivery under an active crash plan.
+
+        Messages are stamped with the overlay *generation* at send time; a
+        repair round advances the generation, so anything still in flight
+        when the tree is rewired is dropped (reverse-path forwarding is only
+        correct relative to the tree it was routed on) and its event cargo is
+        marked as crash-exposed. Messages addressed to a broker that crashed
+        after the send are dropped the same way.
+        """
+        rec = self.recovery
+        if rec.generation != gen or rec.is_down(to):
+            rec.on_dropped_message(msg)
+            return
+        self._deliver_broker(to, msg, frm)
+
     # ------------------------------------------------------------------
     # wireless transport
     # ------------------------------------------------------------------
@@ -292,10 +336,26 @@ class LinkLayer:
         """Queue an uplink message; it reaches the broker after the channel
         serialises it (20 ms per message)."""
         self.account(msg.category, 1, True)
+        rec = self.recovery
+        if rec is not None:
+            self._uplinks[client_id].send(
+                (broker_id, client_id, msg, rec.generation)
+            )
+            return
         self._uplinks[client_id].send((broker_id, client_id, msg))
 
-    def _deliver_uplink(self, item: tuple[int, int, Any]) -> None:
-        broker_id, client_id, msg = item
+    def _deliver_uplink(self, item: tuple) -> None:
+        broker_id, client_id, msg = item[0], item[1], item[2]
+        rec = self.recovery
+        if rec is not None:
+            # uplink traffic is generation-stamped too: a repair round
+            # re-synthesises the client's attachment from ground truth, so
+            # a pre-repair connect/publish arriving afterwards would double
+            # up — drop it and mark any event cargo as crash-exposed
+            gen = item[3] if len(item) > 3 else rec.generation
+            if rec.generation != gen or rec.is_down(broker_id):
+                rec.on_dropped_message(msg)
+                return
         rx = self._broker_rx.get(broker_id)
         if rx is None:
             raise RoutingError(f"no broker registered with id {broker_id}")

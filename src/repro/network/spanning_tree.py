@@ -17,14 +17,18 @@ from __future__ import annotations
 
 import heapq
 from collections import deque
-from typing import Iterator, Optional, Sequence
+from typing import Iterable, Iterator, Optional, Sequence
 
 import numpy as np
 
 from repro.errors import TopologyError
 from repro.network.topology import Topology
 
-__all__ = ["SpanningTree", "minimum_spanning_tree"]
+__all__ = ["SpanningTree", "minimum_spanning_tree", "rebuild_spanning_tree"]
+
+#: parent-vector sentinel for nodes excluded from the tree (down brokers);
+#: full-overlay trees never contain it, so pre-crash behaviour is unchanged
+EXCLUDED = -2
 
 
 class SpanningTree:
@@ -38,6 +42,11 @@ class SpanningTree:
 
     Next-hop tables are built lazily per source and cached (a run touches
     only the sources that actually originate migrations).
+
+    A parent entry of :data:`EXCLUDED` marks a node that is *not* part of
+    the tree (a crashed broker after re-convergence): the tree must be
+    connected over the included nodes only, and routing queries involving
+    an excluded node raise :class:`TopologyError`.
     """
 
     def __init__(self, parent: Sequence[int], root: int) -> None:
@@ -46,12 +55,15 @@ class SpanningTree:
         self.parent = list(parent)
         if self.parent[root] != -1:
             raise TopologyError("root's parent must be -1")
+        members = sum(1 for p in self.parent if p != EXCLUDED)
         self._adj: list[list[int]] = [[] for _ in range(self.n)]
         for v, p in enumerate(self.parent):
-            if p == -1:
+            if p == -1 or p == EXCLUDED:
                 continue
             if not (0 <= p < self.n):
                 raise TopologyError(f"parent of {v} out of range: {p}")
+            if self.parent[p] == EXCLUDED:
+                raise TopologyError(f"parent of {v} is an excluded node: {p}")
             self._adj[v].append(p)
             self._adj[p].append(v)
         for a in self._adj:
@@ -68,10 +80,14 @@ class SpanningTree:
                     self.depth[v] = self.depth[u] + 1
                     seen += 1
                     q.append(v)
-        if seen != self.n:
+        if seen != members:
             raise TopologyError("parent vector does not describe a connected tree")
         # per-source next-hop tables, built on demand
         self._next_hop_cache: dict[int, list[int]] = {}
+
+    def contains(self, u: int) -> bool:
+        """Is ``u`` part of this tree? (False for crashed-out brokers.)"""
+        return self.parent[u] != EXCLUDED
 
     # ------------------------------------------------------------------
     def neighbors(self, u: int) -> list[int]:
@@ -81,7 +97,7 @@ class SpanningTree:
     def edges(self) -> Iterator[tuple[int, int]]:
         """Yield each tree edge once as ``(child, parent)``."""
         for v, p in enumerate(self.parent):
-            if p != -1:
+            if p != -1 and p != EXCLUDED:
                 yield (v, p)
 
     def _hops_from(self, src: int) -> list[int]:
@@ -115,12 +131,15 @@ class SpanningTree:
         if u == dst:
             return u
         hop = self._hops_from(u)[dst]
-        if hop == -1:  # pragma: no cover - tree is connected by construction
+        if hop == -1:
+            # unreachable only when an endpoint is excluded (crashed out)
             raise TopologyError(f"no tree route {u} -> {dst}")
         return hop
 
     def path(self, u: int, v: int) -> list[int]:
         """The unique tree path from ``u`` to ``v`` inclusive of both ends."""
+        if not (self.contains(u) and self.contains(v)):
+            raise TopologyError(f"no tree path {u} -> {v}: endpoint excluded")
         if u == v:
             return [u]
         # Walk up to the common ancestor using depths.
@@ -139,6 +158,8 @@ class SpanningTree:
 
     def distance(self, u: int, v: int) -> int:
         """Number of tree edges between ``u`` and ``v``."""
+        if not (self.contains(u) and self.contains(v)):
+            raise TopologyError(f"no tree path {u} -> {v}: endpoint excluded")
         if u == v:
             return 0
         a, b, d = u, v, 0
@@ -185,7 +206,8 @@ class SpanningTree:
         # exact: BFS from every node (fine up to a few hundred nodes)
         total = 0
         pairs = 0
-        for src in range(self.n):
+        members = [u for u in range(self.n) if self.contains(u)]
+        for src in members:
             dist = [-1] * self.n
             dist[src] = 0
             q: deque[int] = deque([src])
@@ -195,8 +217,8 @@ class SpanningTree:
                     if dist[v] == -1:
                         dist[v] = dist[u] + 1
                         q.append(v)
-            total += sum(d for d in dist)
-            pairs += self.n - 1
+            total += sum(d for d in dist if d > 0)
+            pairs += len(members) - 1
         return total / pairs
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
@@ -244,4 +266,68 @@ def minimum_spanning_tree(
                 )
     if added != topo.n:  # pragma: no cover - guarded by is_connected above
         raise TopologyError("Prim did not reach all nodes")
+    return SpanningTree(parent, root)
+
+
+def rebuild_spanning_tree(
+    topo: Topology,
+    alive: Iterable[int],
+    avoid_edges: Iterable[tuple[int, int]] = (),
+    seed: int = 0,
+    generation: int = 1,
+    root: Optional[int] = None,
+) -> SpanningTree:
+    """Re-converge the overlay over the surviving topology.
+
+    Same seeded-Prim construction as :func:`minimum_spanning_tree`, but
+    restricted to the ``alive`` brokers and skipping ``avoid_edges``
+    (partitioned overlay links). ``generation`` is mixed into the seed so
+    each repair round draws an independent — yet fully replayable — tree;
+    crashed-out nodes are marked :data:`EXCLUDED` in the parent vector.
+
+    Raises :class:`TopologyError` if the surviving subgraph is disconnected
+    (the failure schedule must keep survivors connected; the scenario
+    sampler guarantees it, hand-written plans are validated here).
+    """
+    alive_set = set(alive)
+    if not alive_set:
+        raise TopologyError("cannot rebuild a tree with no surviving brokers")
+    cut = {(min(a, b), max(a, b)) for a, b in avoid_edges}
+    if root is None or root not in alive_set:
+        root = min(alive_set)
+    rng = np.random.default_rng(
+        np.random.SeedSequence([seed, topo.n, generation, 0x5176])
+    )
+
+    def usable(u: int, v: int) -> bool:
+        return v in alive_set and (min(u, v), max(u, v)) not in cut
+
+    parent = [EXCLUDED] * topo.n
+    parent[root] = -1
+    in_tree = bytearray(topo.n)
+    in_tree[root] = 1
+    heap: list[tuple[float, float, int, int]] = []
+    for v in topo.neighbors(root):
+        if usable(root, v):
+            heapq.heappush(
+                heap, (topo.weight(root, v), float(rng.random()), root, v)
+            )
+    added = 1
+    while heap and added < len(alive_set):
+        _w, _tb, u, v = heapq.heappop(heap)
+        if in_tree[v]:
+            continue
+        in_tree[v] = 1
+        parent[v] = u
+        added += 1
+        for nxt in topo.neighbors(v):
+            if not in_tree[nxt] and usable(v, nxt):
+                heapq.heappush(
+                    heap, (topo.weight(v, nxt), float(rng.random()), v, nxt)
+                )
+    if added != len(alive_set):
+        raise TopologyError(
+            f"surviving overlay is disconnected: reached {added} of "
+            f"{len(alive_set)} live brokers from root {root}"
+        )
     return SpanningTree(parent, root)

@@ -68,6 +68,11 @@ class Client:
         wireless uplink latency."""
         if self.connected:
             raise ClientStateError(f"client {self.id} already connected")
+        rec = self.system.recovery
+        if rec is not None:
+            # station association: a dead base station answers no probes, so
+            # the client attaches at the nearest live one instead
+            broker_id = rec.reroute(broker_id)
         previous = self.last_broker
         self.connected = True
         self.current_broker = broker_id
@@ -91,6 +96,15 @@ class Client:
         self.last_broker = broker
         self.system.metrics.on_client_disconnect(self.id, self.system.clock.now)
         self.system.protocol.on_disconnect(self.system.brokers[broker], self.id)
+
+    def force_disconnect(self) -> None:
+        """Crash-side detach: the attached broker just died, so no protocol
+        disconnect handler runs (there is no broker left to run it)."""
+        broker = self._require_connected("force_disconnect")
+        self.connected = False
+        self.current_broker = None
+        self.last_broker = broker
+        self.system.metrics.on_client_disconnect(self.id, self.system.clock.now)
 
     def proclaim_and_disconnect(self, dest_broker: int) -> None:
         """Proclaimed move (§4.1): announce the destination, then detach.
@@ -129,6 +143,9 @@ class Client:
         )
         self._pub_seq += 1
         self.system.metrics.on_publish(event)
+        rec = self.system.recovery
+        if rec is not None:
+            rec.on_publish(event)
         self.system.net.send_uplink(
             self.id, broker, m.PublishMessage(event)
         )

@@ -1,0 +1,386 @@
+"""Self-stabilizing overlay repair: crashes, restarts, partitions.
+
+This module acts on a :class:`~repro.network.recovery.CrashPlan`. It is the
+control-plane analogue of PR 4's wireless fault injector: a
+:class:`RecoveryCoordinator` is only built for an *active* plan, so
+crash-free runs execute exactly the pre-crash code paths and stay
+bit-identical to the seed behaviour.
+
+The accounted-loss crash model
+------------------------------
+A broker crash destroys volatile state (stored queues, protocol scratch
+state) and silently discards in-flight traffic. Rather than pretending the
+kernel can recover what is physically gone, the model keeps the delivery
+ledger *exact*: every (client, event) pair put at risk is marked via
+:meth:`~repro.metrics.delivery.DeliveryChecker.mark_crash_risk`, and at the
+end of the run the pairs that were neither delivered nor fault-lost
+reconcile into ``stats.crash_lost``. Over-marking is harmless (delivered
+pairs reconcile to zero); *under*-marking would surface as ``missing > 0``
+— which is precisely what the conformance fuzzer's crash lane asserts never
+happens.
+
+Marking happens at four places:
+
+* publish-time, while the overlay is **dirty** (between a failure event and
+  the completing repair round): routing state may silently eat any event,
+  so all matched clients of every publish in the window are marked;
+* crash-time, for the crashed broker's stored queues, stray transfer
+  buffers, and its attached clients' untransmitted downlink messages;
+* delivery-time, when the link layer drops a generation-stale or
+  dead-addressed message carrying event cargo;
+* repair-time, for gathered backlog events that would violate per-publisher
+  order if replayed (the client has already seen a newer event).
+
+The repair round (self-stabilization, PSVR-style)
+-------------------------------------------------
+``repair_delay_ms`` after each failure event (immediately for restarts) a
+single synchronous repair round restores a consistent global state:
+
+1. **gather** the surviving backlog from all live brokers' persistent
+   queues and stray buffers, deduplicated, minus delivered/superseded pairs,
+   sorted into publish order;
+2. **re-converge**: bump the generation (invalidating every in-flight
+   message and armed protocol timer), rebuild the spanning tree over the
+   survivors (:func:`~repro.network.spanning_tree.rebuild_spanning_tree`),
+   and give every live broker a fresh :class:`FilterTable` wired to the new
+   tree neighbours;
+3. **resync routing state**: for every client (in id order) install a
+   canonical offline subscription at its anchor broker via the protocol's
+   ``install_recovered`` hook and flood the entry synchronously — replaying
+   the exact ``_advertise`` / ``_handle_subscribe`` logic including
+   covering-index pruning, so the rebuilt tables equal a from-scratch
+   construction (the differential oracle in ``tests/test_recovery.py``
+   checks this equality broker by broker);
+4. **reattach**: for clients that were connected when the round ran,
+   synthesize the protocol's normal ``on_connect`` (reusing the client's
+   existing connect epoch, so interrupted MHH/two-phase handoffs restart
+   cleanly instead of double-installing).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable
+
+from repro.errors import ConfigurationError
+from repro.network.recovery import CrashPlan
+from repro.network.spanning_tree import rebuild_spanning_tree
+from repro.network.topology import Topology
+from repro.pubsub.events import Notification
+from repro.pubsub.filter_table import FilterTable
+from repro.pubsub.filters import Filter
+from repro.pubsub import messages as m
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.pubsub.broker import Broker
+    from repro.pubsub.client import Client
+    from repro.pubsub.system import PubSubSystem
+
+__all__ = ["RecoveryCoordinator", "validate_plan"]
+
+
+def validate_plan(topo: Topology, plan: CrashPlan) -> None:
+    """Reject plans the repair machinery cannot honour, before the run.
+
+    Checks, replaying the schedule event by event: broker ids and edges
+    exist, crashes hit live brokers, restarts revive dead ones, and the
+    surviving overlay stays connected after every event (a disconnected
+    survivor set has no spanning tree to re-converge to).
+    """
+    down: set[int] = set()
+    cut: set[tuple[int, int]] = set()
+    for e in plan.events:
+        if e.kind == "partition":
+            a, b = e.edge  # type: ignore[misc]
+            if not (0 <= a < topo.n and 0 <= b < topo.n and topo.has_edge(a, b)):
+                raise ConfigurationError(
+                    f"partition event {e.label()}: {e.edge} is not an "
+                    f"overlay link"
+                )
+            cut.add(e.edge)  # type: ignore[arg-type]
+        else:
+            bid = e.broker
+            if not (bid is not None and 0 <= bid < topo.n):
+                raise ConfigurationError(
+                    f"{e.kind} event {e.label()}: no broker {bid}"
+                )
+            if e.kind == "crash":
+                if bid in down:
+                    raise ConfigurationError(
+                        f"crash event {e.label()}: broker {bid} is already down"
+                    )
+                down.add(bid)
+            else:
+                if bid not in down:
+                    raise ConfigurationError(
+                        f"restart event {e.label()}: broker {bid} is not down"
+                    )
+                down.discard(bid)
+        if not _survivors_connected(topo, down, cut):
+            raise ConfigurationError(
+                f"failure plan disconnects the surviving overlay at "
+                f"event {e.label()}"
+            )
+
+
+def _survivors_connected(
+    topo: Topology, down: set[int], cut: set[tuple[int, int]]
+) -> bool:
+    alive = [u for u in range(topo.n) if u not in down]
+    if not alive:
+        return False
+    seen = {alive[0]}
+    stack = [alive[0]]
+    while stack:
+        u = stack.pop()
+        for v in topo.neighbors(u):
+            if v in down or v in seen:
+                continue
+            if (min(u, v), max(u, v)) in cut:
+                continue
+            seen.add(v)
+            stack.append(v)
+    return len(seen) == len(alive)
+
+
+class RecoveryCoordinator:
+    """Executes a :class:`CrashPlan` against a running system."""
+
+    def __init__(self, system: "PubSubSystem", plan: CrashPlan) -> None:
+        validate_plan(system.topology, plan)
+        self.system = system
+        self.plan = plan
+        #: bumped by every repair round; messages and protocol timers carry
+        #: the generation they were created under and are dropped on mismatch
+        self.generation = 0
+        self.down: set[int] = set()
+        self.cut: set[tuple[int, int]] = set()
+        #: True between a failure event and the completing repair round:
+        #: the overlay may silently eat any publish, so they are all marked
+        self._dirty = False
+        #: completed repair rounds / publishes observed on a clean repaired
+        #: overlay — the fuzzer uses these to prove its "deliveries resume
+        #: after reconvergence" invariant is not vacuous
+        self.repairs = 0
+        self.post_repair_publishes = 0
+        self.last_repair_time = float("-inf")
+
+    # ------------------------------------------------------------------
+    # queries (link layer, timers, clients)
+    # ------------------------------------------------------------------
+    def is_down(self, broker: int) -> bool:
+        return broker in self.down
+
+    def edge_cut(self, a: int, b: int) -> bool:
+        return (min(a, b), max(a, b)) in self.cut
+
+    def guarded(self, broker_id: int, generation: int, fn, args) -> None:
+        """Run a protocol timer continuation unless a repair round has
+        invalidated it or its owning broker died (see ``MobilityProtocol.later``)."""
+        if generation != self.generation or broker_id in self.down:
+            return
+        fn(*args)
+
+    def reroute(self, target: int) -> int:
+        """Redirect a client attach aimed at a dead broker to the nearest
+        live one (grid hop count, lowest id wins ties) — the station's
+        association logic, not a protocol message."""
+        if target not in self.down:
+            return target
+        paths = self.system.paths
+        alive = [b for b in self.system.brokers if b not in self.down]
+        return min(alive, key=lambda b: (paths.hop_count(target, b), b))
+
+    # ------------------------------------------------------------------
+    # accounting hooks
+    # ------------------------------------------------------------------
+    def on_publish(self, event: Notification) -> None:
+        if self._dirty:
+            checker = self.system.metrics.delivery
+            for cid in checker.matching_clients(event.topic):
+                checker.mark_crash_risk(int(cid), event)
+        elif self.generation:
+            self.post_repair_publishes += 1
+
+    def on_dropped_message(self, msg: m.Message) -> None:
+        """A generation-stale or dead-addressed message was discarded; mark
+        any event cargo it carried. Control messages carry none — the
+        repair round rebuilds the structure they would have built."""
+        checker = self.system.metrics.delivery
+        t = type(msg)
+        if t is m.DeliverMessage or t is m.ForwardedEvent:
+            checker.mark_crash_risk(msg.client, msg.event)
+        elif t is m.MigrateBatch or t is m.TransferBatch or t is m.ForwardedBatch:
+            for ev in msg.events:
+                checker.mark_crash_risk(msg.client, ev)
+        elif t is m.EventMessage or t is m.PublishMessage:
+            for cid in checker.matching_clients(msg.event.topic):
+                checker.mark_crash_risk(int(cid), msg.event)
+
+    # ------------------------------------------------------------------
+    # schedule execution
+    # ------------------------------------------------------------------
+    def schedule(self) -> None:
+        """Arm the plan's events on the system clock (both drivers)."""
+        clock = self.system.clock
+        for e in self.plan.events:
+            if e.kind == "crash":
+                clock.call_later(e.time_ms, self._apply_crash, e.broker)
+                clock.call_later(e.time_ms + e.repair_delay_ms, self._repair)
+            elif e.kind == "partition":
+                clock.call_later(e.time_ms, self._apply_partition, e.edge)
+                clock.call_later(e.time_ms + e.repair_delay_ms, self._repair)
+            else:  # restart: reintegration is itself a repair round
+                clock.call_later(e.time_ms, self._apply_restart, e.broker)
+
+    def _apply_crash(self, bid: int) -> None:
+        system = self.system
+        checker = system.metrics.delivery
+        broker = system.brokers[bid]
+        self.down.add(bid)
+        self._dirty = True
+        # volatile state is lost: mark every stored pair as crash-exposed
+        for q in broker.queues.values():
+            for ev in q:
+                checker.mark_crash_risk(q.client, ev)
+        for cid, ev in system.protocol.gather_stray(broker):
+            checker.mark_crash_risk(cid, ev)
+        # the base station is gone: its attached clients drop off the air
+        # without any disconnect handling (there is no broker to run it)
+        for cid in sorted(system.clients):
+            client = system.clients[cid]
+            if client.connected and client.current_broker == bid:
+                for pending in system.net.reclaim_downlink(cid):
+                    if type(pending) is m.DeliverMessage:
+                        checker.mark_crash_risk(cid, pending.event)
+                client.force_disconnect()
+        broker.queues.clear()
+        broker.pstate.clear()
+        system.tracer.emit("broker_crash", broker=bid)
+
+    def _apply_partition(self, edge: tuple[int, int]) -> None:
+        self.cut.add(edge)
+        self._dirty = True
+        self.system.tracer.emit("overlay_partition", edge=edge)
+
+    def _apply_restart(self, bid: int) -> None:
+        self.down.discard(bid)
+        self.system.tracer.emit("broker_restart", broker=bid)
+        self._repair()
+
+    # ------------------------------------------------------------------
+    # the repair round
+    # ------------------------------------------------------------------
+    def _repair(self) -> None:
+        system = self.system
+        checker = system.metrics.delivery
+        protocol = system.protocol
+        self.generation += 1
+        alive = sorted(b for b in system.brokers if b not in self.down)
+
+        # 1. gather the surviving backlog: deduplicate by event id, skip
+        #    pairs already delivered, and retire pairs whose replay would
+        #    violate per-publisher order (the client saw a newer event).
+        backlog: dict[int, dict[int, Notification]] = {}
+
+        def keep(cid: int, ev: Notification) -> None:
+            if checker.delivered_pair(cid, ev):
+                return
+            if ev.seq <= checker.max_delivered_seq(cid, ev.publisher):
+                checker.mark_crash_risk(cid, ev)
+                return
+            backlog.setdefault(cid, {}).setdefault(ev.event_id, ev)
+
+        for bid in alive:
+            broker = system.brokers[bid]
+            for q in broker.queues.values():
+                for ev in q:
+                    keep(q.client, ev)
+            for cid, ev in protocol.gather_stray(broker):
+                keep(cid, ev)
+
+        # 2. re-converge the overlay and wipe routing/protocol state
+        tree = rebuild_spanning_tree(
+            system.topology, alive, self.cut,
+            seed=system.seed, generation=self.generation,
+        )
+        system.tree = tree
+        for bid in alive:
+            broker = system.brokers[bid]
+            broker.queues.clear()
+            broker.pstate.clear()
+            broker.tree = tree
+            broker.table = FilterTable(
+                bid,
+                tree.neighbors(bid),
+                engine=system.matching_engine,
+                covering_index=system.covering_index,
+            )
+        protocol.on_repair_reset()
+
+        # 3 + 4. resync routing state client by client (id order — the same
+        # order the differential oracle uses), then reattach
+        alive_set = set(alive)
+        for cid in sorted(system.clients):
+            client = system.clients[cid]
+            anchor = protocol.recovery_anchor(
+                client, alive_set, self._default_anchor(client, alive_set)
+            )
+            events = sorted(
+                backlog.get(cid, {}).values(), key=lambda e: e.event_id
+            )
+            entry = protocol.install_recovered(
+                system.brokers[anchor], client, events
+            )
+            self._flood_entry(anchor, entry.key, entry.filter)
+            if client.connected:
+                protocol.on_connect(
+                    system.brokers[client.current_broker],
+                    cid,
+                    last_broker=client.current_broker,
+                    epoch=client.connect_epoch,
+                )
+            else:
+                client.last_broker = anchor
+        self._dirty = False
+        self.repairs += 1
+        self.last_repair_time = system.clock.now
+        system.tracer.emit(
+            "overlay_repair", generation=self.generation, alive=len(alive)
+        )
+
+    @staticmethod
+    def _default_anchor(client: "Client", alive: set[int]) -> int:
+        if client.connected:
+            return client.current_broker  # crash detaches, connect reroutes
+        for cand in (client.last_broker, client.home_broker):
+            if cand is not None and cand in alive:
+                return cand
+        return min(alive)
+
+    def _flood_entry(self, origin: int, key, filt: Filter) -> None:
+        """Synchronously replay the subscription flood for one entry.
+
+        Mirrors ``Broker._advertise`` + ``Broker._handle_subscribe``
+        exactly — advertised-key dedup, covering-index pruning, mirror
+        bookkeeping — but applies the table mutations in place instead of
+        sending messages, so the repaired routing state is consistent the
+        instant the round completes (and equals a from-scratch build).
+        """
+        broker = self.system.brokers[origin]
+        for nbr in broker.table.neighbors:
+            self._sync_advertise(broker, nbr, key, filt)
+
+    def _sync_advertise(
+        self, broker: "Broker", nbr: int, key, filt: Filter
+    ) -> None:
+        table = broker.table
+        if self.system.covering_enabled and table.advertised_covers(nbr, filt):
+            return
+        if table.advertised_has(nbr, key):
+            return
+        table.advertised_add(nbr, key, filt)
+        receiver = self.system.brokers[nbr]
+        receiver.table.add_broker_filter(broker.id, key, filt)
+        for nxt in receiver.table.neighbors:
+            if nxt != broker.id:
+                self._sync_advertise(receiver, nxt, key, filt)

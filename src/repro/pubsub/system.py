@@ -31,6 +31,7 @@ from repro.drivers.simulated import SimulatedDriver
 from repro.errors import ConfigurationError
 from repro.metrics.hub import MetricsHub
 from repro.network.faults import FaultProfile, LinkFaultInjector
+from repro.network.recovery import CrashPlan
 from repro.network.links import (
     WIRED_LATENCY_MS,
     WIRELESS_LATENCY_MS,
@@ -48,6 +49,7 @@ from repro.util.ids import IdAllocator
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.mobility.base import MobilityProtocol
+    from repro.pubsub.recovery import RecoveryCoordinator
 
 __all__ = ["PubSubSystem"]
 
@@ -84,6 +86,7 @@ class PubSubSystem:
         sim_engine: str = "lanes",
         covering_index: bool = True,
         faults: Optional[FaultProfile] = None,
+        crashes: Optional["CrashPlan"] = None,
         driver: DriverSpec = None,
     ) -> None:
         if grid_k <= 0 and topology is None:
@@ -221,6 +224,19 @@ class PubSubSystem:
         if covering_enabled is None:
             covering_enabled = self.protocol.default_covering
         self.covering_enabled = covering_enabled
+
+        #: overlay failure schedule (None / inactive = crash-free; like the
+        #: fault injector, the coordinator is only built for an *active*
+        #: plan, so crash-free runs stay bit-identical to the seed behaviour)
+        self.crashes = crashes
+        self.recovery: Optional["RecoveryCoordinator"] = None
+        if crashes is not None and crashes.active:
+            from repro.pubsub.recovery import RecoveryCoordinator
+
+            self.recovery = RecoveryCoordinator(self, crashes)
+            self.net.recovery = self.recovery
+            self.metrics.delivery.enable_crash_tracking()
+            self.recovery.schedule()
 
     # ------------------------------------------------------------------
     @property

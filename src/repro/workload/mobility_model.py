@@ -110,7 +110,8 @@ class Workload:
             yield float(rng.exponential(conn_ms))
             if self._stopped:
                 return
-            client.disconnect()
+            if client.connected:  # a broker crash may have detached it already
+                client.disconnect()
             yield float(rng.exponential(disc_ms))
             if self._stopped:
                 # leave the client disconnected; the drain phase reconnects it
