@@ -13,6 +13,9 @@ PRs rather than anecdotes:
   index at 2k filters, indexed vs scan covering withdrawals, and the
   churn-heaviest fig5a point (conn=1s)
   (:mod:`benchmarks.bench_control_plane`);
+* **reliability** — wall-time overhead of the end-to-end ACK/retransmit
+  layer on a lossy churn run, off vs on at the same seed
+  (:mod:`repro.pubsub.reliability`);
 * **fig5a** — the full Figure 5 sweep wall time at the chosen scale (the
   end-to-end number everything else serves).
 
@@ -50,8 +53,12 @@ from benchmarks.bench_matching_engine import (  # noqa: E402
     run_matches,
 )
 from benchmarks.bench_sim_engine import measure_link_throughput  # noqa: E402
-from repro.experiments.config import bench_scale  # noqa: E402
+from dataclasses import replace  # noqa: E402
+from repro.experiments.config import ExperimentConfig, bench_scale  # noqa: E402
 from repro.experiments.figures import run_fig5  # noqa: E402
+from repro.experiments.runner import run_experiment  # noqa: E402
+from repro.network.faults import FaultProfile  # noqa: E402
+from repro.workload.spec import WorkloadSpec  # noqa: E402
 
 SCHEMA_VERSION = 1
 
@@ -114,6 +121,25 @@ def collect(scale: str) -> dict:
     metrics["control_plane_withdraw_legacy_ops_per_s"] = withdraw["legacy_ops_per_s"]
     metrics["control_plane_withdraw_speedup"] = withdraw["speedup"]
 
+    # reliability: wall-time cost of the ACK/retransmit layer on one lossy
+    # churn run, same seed off vs on. Default-off must stay free (it
+    # constructs nothing), so the overhead ratio is the price of turning
+    # the layer on — timer traffic, acks, retransmits — not of having it.
+    rel_cfg = ExperimentConfig(
+        protocol="mhh", grid_k=3, seed=1,
+        workload=WorkloadSpec(
+            clients_per_broker=4, mobile_fraction=0.5,
+            mean_connected_s=10.0, mean_disconnected_s=5.0,
+            publish_interval_s=10.0, duration_s=180.0,
+        ),
+        faults=FaultProfile(deliver_loss=0.1),
+    )
+    t_off = _best_of(3, run_experiment, rel_cfg)
+    t_on = _best_of(3, run_experiment, replace(rel_cfg, reliable=True))
+    metrics["reliability_off_wall_s"] = t_off
+    metrics["reliability_on_wall_s"] = t_on
+    metrics["reliability_overhead"] = t_on / t_off
+
     # end to end: the Figure 5 sweep at the requested scale
     t0 = time.perf_counter()
     rows = run_fig5(scale=scale, seed=1)
@@ -168,6 +194,9 @@ def main(argv: list[str] | None = None) -> int:
           f" withdraw {m['control_plane_withdraw_indexed_ops_per_s']:.0f} ops/s"
           f" ({m['control_plane_withdraw_speedup']:.1f}x vs scan),"
           f" fig5a conn=1s {m['control_plane_fig5a_conn1_wall_s']:.2f}s")
+    print(f"  reliable   off {m['reliability_off_wall_s']:.2f}s"
+          f"  on {m['reliability_on_wall_s']:.2f}s"
+          f"  ({m['reliability_overhead']:.2f}x overhead)")
     print(f"  fig5 sweep {m['fig5a_wall_s']:.2f}s wall,"
           f" {m['fig5a_sim_events']:.0f} sim events"
           f" ({m['fig5a_sim_events_per_s'] / 1e3:.0f}k ev/s)")

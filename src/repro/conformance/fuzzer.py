@@ -38,6 +38,18 @@ event; and the reconverged overlay carries live traffic
 (``post_repair_publishes > 0``). Protocols cycle deterministically, so a
 30-scenario batch covers each of the four at least seven times.
 
+**Reliability lane** (``--reliability-lane``): scenarios run with a forced
+lossy wireless profile *and* the end-to-end ACK/retransmit layer enabled
+(a third of the draws also bound the downlink queue). The matrix flips for
+this lane: reliable protocols must show ``lost == 0`` — every injected
+link drop retransmitted away, reconciled as ``recovered`` — alongside
+``missing == 0``, intact per-publisher order, and wire-level duplicates no
+lower than the injected copies (retransmits add legitimate extras).
+Combined with ``--crash-lane``, seeded broker failures layer on top of the
+loss profile and the only permitted write-offs are ``crash_lost`` and
+``shed``; ``lost`` stays exactly zero. Protocols cycle through the
+reliable trio, so a 30-scenario batch covers each at least ten times.
+
 **Cross-engine identity**: the same scenario re-run with the all-legacy
 engine bundle (heap scheduler × scan matching × covering scans) must
 produce a byte-identical delivery log, identical delivery/loss/duplicate
@@ -75,6 +87,11 @@ __all__ = [
 #: protocols whose contract is exactly-once, ordered, loss-free delivery
 RELIABLE_PROTOCOLS = frozenset({"mhh", "sub-unsub", "two-phase"})
 
+#: deterministic cycling order for the reliability lane (the lane's
+#: lost == 0 row only makes sense for protocols that promise no losses
+#: of their own, so home-broker sits this lane out)
+_RELIABLE_CYCLE = tuple(p for p in PROTOCOLS if p in RELIABLE_PROTOCOLS)
+
 
 @dataclass
 class ScenarioOutcome:
@@ -97,6 +114,10 @@ class ScenarioOutcome:
     crash_lost: int = 0
     repairs: int = 0
     post_repair_publishes: int = 0
+    recovered: int = 0
+    shed: int = 0
+    retransmits: int = 0
+    breaker_trips: int = 0
     wired_by_category: dict[str, int] = field(default_factory=dict)
     #: (client, event_id, time) per delivery, in delivery order
     delivery_log: tuple[tuple[int, int, float], ...] = ()
@@ -142,6 +163,10 @@ def run_scenario(
         post_repair_publishes=(
             system.recovery.post_repair_publishes if system.recovery else 0
         ),
+        recovered=stats.recovered,
+        shed=stats.shed,
+        retransmits=meter.total_retransmits(),
+        breaker_trips=meter.total_breaker_trips(),
         wired_by_category=dict(meter.by_category()),
         delivery_log=tuple(system.metrics.delivery.log),
     )
@@ -159,14 +184,35 @@ def check_invariants(scenario: Scenario, o: ScenarioOutcome) -> list[str]:
             f"missing={o.missing}: expected deliveries neither performed "
             f"nor explicitly accounted as lost"
         )
-    if o.duplicates != o.injected_dups:
+    if scenario.reliable:
+        # No duplicate bound under reliability: the rx window decouples
+        # the delivery-level count from the injector in both directions.
+        # Retransmits whose ack (not the frame) was lost add duplicates
+        # the injector never made, while injected copies of a buffered or
+        # stale-session frame are absorbed by sequence-number reassembly
+        # before they reach the delivery meter. The per-client app
+        # callback dedups regardless; exactly-once is what the missing/
+        # lost rows assert.
+        pass
+    elif o.duplicates != o.injected_dups:
         v.append(
             f"duplicates={o.duplicates} != injected link copies "
             f"{o.injected_dups}: the protocol introduced or swallowed "
             f"duplicates of its own"
         )
     if reliable:
-        if o.lost != o.injected_drops:
+        if scenario.reliable:
+            # The whole point of the reliability lane: injected link loss
+            # is retransmitted away, never written off. Under a crash plan
+            # the only permitted write-offs are crash_lost (volatile state
+            # died with a broker) and shed (budget/bulkhead policy) —
+            # both tracked separately, so lost stays exactly zero.
+            if o.lost != 0:
+                v.append(
+                    f"lost={o.lost} != 0: reliable delivery must recover "
+                    f"every injected link loss (drops={o.injected_drops})"
+                )
+        elif o.lost != o.injected_drops:
             v.append(
                 f"lost={o.lost} != injected link drops {o.injected_drops}: "
                 f"a reliable protocol must lose exactly what the link lost"
@@ -176,7 +222,7 @@ def check_invariants(scenario: Scenario, o: ScenarioOutcome) -> list[str]:
                 f"order_violations={o.order_violations}: per-publisher "
                 f"order must hold"
             )
-    else:
+    elif not scenario.reliable:
         if o.lost < o.injected_drops:
             v.append(
                 f"lost={o.lost} < injected link drops {o.injected_drops}: "
@@ -194,6 +240,29 @@ def check_invariants(scenario: Scenario, o: ScenarioOutcome) -> list[str]:
         )
     if not scenario.faults.active and (o.injected_drops or o.injected_dups):
         v.append("fault profile inactive but the injector fired")
+    if scenario.reliable:
+        if o.recovered > o.injected_drops:
+            v.append(
+                f"recovered={o.recovered} > injected link drops "
+                f"{o.injected_drops}: recoveries without matching drops"
+            )
+        if (
+            o.shed
+            and scenario.queue_cap is None
+            and not scenario.crashes.active
+        ):
+            v.append(
+                f"shed={o.shed} with no queue cap and no crash plan: "
+                f"nothing should trigger the shed policy"
+            )
+    elif scenario.queue_cap is None and (
+        o.recovered or o.shed or o.retransmits or o.breaker_trips
+    ):
+        v.append(
+            f"reliability off but its machinery fired (recovered="
+            f"{o.recovered} shed={o.shed} retransmits={o.retransmits} "
+            f"breaker_trips={o.breaker_trips})"
+        )
     if scenario.crashes.active:
         # Reliable protocols may write off deliveries whose only copy
         # lived on the crashed broker (volatile state is genuinely gone) —
@@ -237,6 +306,10 @@ def compare_outcomes(a: ScenarioOutcome, b: ScenarioOutcome) -> list[str]:
         "crash_lost",
         "repairs",
         "post_repair_publishes",
+        "recovered",
+        "shed",
+        "retransmits",
+        "breaker_trips",
     ):
         av, bv = getattr(a, attr), getattr(b, attr)
         if av != bv:
@@ -276,6 +349,7 @@ class ScenarioResult:
     label: str
     violations: list[str]
     crash_lane: bool = False
+    reliability_lane: bool = False
     forced_protocol: Optional[str] = None
 
     @property
@@ -286,8 +360,12 @@ class ScenarioResult:
         cmd = f"python -m repro.conformance.fuzzer --scenario-seed {self.seed}"
         if self.crash_lane:
             cmd += " --crash-lane"
-            if self.forced_protocol is not None:
-                cmd += f" --protocol {self.forced_protocol}"
+        if self.reliability_lane:
+            cmd += " --reliability-lane"
+        if (self.crash_lane or self.reliability_lane) and (
+            self.forced_protocol is not None
+        ):
+            cmd += f" --protocol {self.forced_protocol}"
         return cmd
 
 
@@ -348,11 +426,13 @@ class ScenarioFuzzer:
         master_seed: int = 0,
         cross_engine: bool = True,
         crash_lane: bool = False,
+        reliability_lane: bool = False,
     ) -> None:
         self.n_scenarios = n_scenarios
         self.master_seed = master_seed
         self.cross_engine = cross_engine
         self.crash_lane = crash_lane
+        self.reliability_lane = reliability_lane
 
     def scenario_seeds(self) -> list[int]:
         rnd = random.Random(self.master_seed)
@@ -361,7 +441,11 @@ class ScenarioFuzzer:
     def run_one(
         self, scenario_seed: int, protocol: Optional[str] = None
     ) -> ScenarioResult:
-        if self.crash_lane:
+        if self.reliability_lane:
+            scenario = Scenario.reliability_from_seed(
+                scenario_seed, protocol, crash=self.crash_lane
+            )
+        elif self.crash_lane:
             scenario = Scenario.crash_from_seed(scenario_seed, protocol)
         else:
             scenario = Scenario.from_seed(scenario_seed)
@@ -381,6 +465,7 @@ class ScenarioFuzzer:
             scenario.label(),
             violations,
             crash_lane=self.crash_lane,
+            reliability_lane=self.reliability_lane,
             forced_protocol=protocol,
         )
 
@@ -389,9 +474,15 @@ class ScenarioFuzzer:
     ) -> FuzzReport:
         report = FuzzReport(master_seed=self.master_seed)
         for i, seed in enumerate(self.scenario_seeds()):
-            # crash lane: cycle protocols so coverage is guaranteed, not
-            # merely probable, over the whole failure-scenario batch
-            protocol = PROTOCOLS[i % len(PROTOCOLS)] if self.crash_lane else None
+            # lanes cycle protocols so coverage is guaranteed, not merely
+            # probable, over the whole batch; the reliability lane cycles
+            # only the protocols whose contract is loss-free
+            if self.reliability_lane:
+                protocol = _RELIABLE_CYCLE[i % len(_RELIABLE_CYCLE)]
+            elif self.crash_lane:
+                protocol = PROTOCOLS[i % len(PROTOCOLS)]
+            else:
+                protocol = None
             result = self.run_one(seed, protocol)
             report.results.append(result)
             if progress is not None:
@@ -428,6 +519,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         help="fuzz the broker-failure lane: perfect links "
                              "plus seeded crash/restart/partition schedules, "
                              "protocols cycled for guaranteed coverage")
+    parser.add_argument("--reliability-lane", action="store_true",
+                        help="fuzz the end-to-end reliability lane: forced "
+                             "lossy links with ACK/retransmit enabled; "
+                             "asserts zero losses for reliable protocols. "
+                             "Combine with --crash-lane to layer seeded "
+                             "broker failures on top")
     parser.add_argument("--protocol", choices=PROTOCOLS, default=None,
                         help="force the protocol (crash-lane replays; "
                              "batch runs cycle protocols automatically)")
@@ -441,6 +538,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         master_seed=args.master_seed,
         cross_engine=not args.no_cross_engine,
         crash_lane=args.crash_lane,
+        reliability_lane=args.reliability_lane,
     )
     if args.scenario_seed is not None:
         result = fuzzer.run_one(args.scenario_seed, args.protocol)

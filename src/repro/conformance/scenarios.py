@@ -73,6 +73,10 @@ class Scenario:
     topic_skew: float = 0.0
     faults: FaultProfile = field(default_factory=FaultProfile)
     crashes: CrashPlan = field(default_factory=CrashPlan)
+    #: end-to-end ACK/retransmit layer on the downlink (reliability lane)
+    reliable: bool = False
+    retry_budget: int = 8
+    queue_cap: Optional[int] = None
 
     # ------------------------------------------------------------------
     @classmethod
@@ -203,6 +207,49 @@ class Scenario:
         )
 
     # ------------------------------------------------------------------
+    @classmethod
+    def reliability_from_seed(
+        cls,
+        scenario_seed: int,
+        protocol: Optional[str] = None,
+        crash: bool = False,
+    ) -> "Scenario":
+        """The reliability-lane variant of the scenario named by the seed.
+
+        Builds the base scenario (crash variant when ``crash`` is set, so
+        the lane composes with seeded broker failures), then switches the
+        end-to-end ACK/retransmit layer on and forces a *lossy* wireless
+        profile from an independent random stream — the lane exists to
+        prove that reliability turns injected link loss into retransmits
+        rather than write-offs, so fault-free draws would be wasted
+        scenarios. As with the crash lane, the base draw order is
+        untouched: plain-lane replays of the same seed stay byte-identical.
+
+        A third of the draws additionally bound the downlink queue, so the
+        shed-accounting path (bulkhead overflow reconciled as ``shed``,
+        never silently missing) stays under randomized test too.
+        """
+        if crash:
+            base = cls.crash_from_seed(scenario_seed, protocol)
+        else:
+            base = cls.from_seed(scenario_seed)
+            if protocol is not None:
+                base = replace(base, protocol=protocol)
+        rnd = random.Random(f"rel-lane:{scenario_seed}")
+        faults = FaultProfile(
+            deliver_loss=rnd.choice((0.05, 0.1, 0.2)),
+            deliver_duplicate=rnd.choice((0.0, 0.0, 0.05)),
+            wireless_jitter_ms=rnd.choice((0.0, 0.0, 5.0)),
+        )
+        return replace(
+            base,
+            faults=faults,
+            reliable=True,
+            retry_budget=rnd.choice((4, 8)),
+            queue_cap=rnd.choice((None, None, 32)),
+        )
+
+    # ------------------------------------------------------------------
     def workload(self) -> WorkloadSpec:
         return WorkloadSpec(
             clients_per_broker=self.clients_per_broker,
@@ -233,16 +280,24 @@ class Scenario:
             covering_index=covering_index,
             faults=self.faults if self.faults.active else None,
             crashes=self.crashes if self.crashes.active else None,
+            reliable=self.reliable,
+            retry_budget=self.retry_budget,
+            queue_cap=self.queue_cap,
         )
 
     def label(self) -> str:
         crash_tag = (
             f" [{self.crashes.label()}]" if self.crashes.active else ""
         )
+        rel_tag = ""
+        if self.reliable:
+            rel_tag = f" rel(budget={self.retry_budget})"
+        if self.queue_cap is not None:
+            rel_tag += f" cap={self.queue_cap}"
         return (
             f"seed={self.scenario_seed} {self.protocol} k={self.grid_k} "
             f"cpb={self.clients_per_broker} mob={self.mobility_model} "
             f"skew={self.topic_skew:g} conn={self.mean_connected_s:g}s "
             f"disc={self.mean_disconnected_s:g}s [{self.faults.label()}]"
-            f"{crash_tag}"
+            f"{crash_tag}{rel_tag}"
         )

@@ -164,5 +164,7 @@ class Driver:
         account: Optional[Callable[[str, int, bool], None]] = None,
         unicast_hops: Optional[Callable[[int, int], int]] = None,
         faults: Optional[Any] = None,
+        queue_cap: Optional[int] = None,
+        on_shed: Optional[Callable[[Any, int], bool]] = None,
     ) -> Transport:
         raise NotImplementedError

@@ -296,6 +296,8 @@ class LiveDriver(Driver):
         account: Optional[Callable[[str, int, bool], None]] = None,
         unicast_hops: Optional[Callable[[int, int], int]] = None,
         faults: Optional[Any] = None,
+        queue_cap: Optional[int] = None,
+        on_shed: Optional[Callable[[Any, int], bool]] = None,
     ) -> Transport:
         return LinkLayer(
             self.clock,
@@ -306,6 +308,8 @@ class LiveDriver(Driver):
             account=account,
             unicast_hops=unicast_hops,
             faults=faults,
+            queue_cap=queue_cap,
+            on_shed=on_shed,
         )
 
 
@@ -335,6 +339,9 @@ def run_virtual_scenario(cfg: "ExperimentConfig") -> "PubSubSystem":
         covering_index=cfg.covering_index,
         faults=cfg.faults,
         crashes=cfg.crashes,
+        reliable=cfg.reliable,
+        retry_budget=cfg.retry_budget,
+        queue_cap=cfg.queue_cap,
         driver=LiveDriver(clock),
     )
     system.metrics.delivery.record_log = True
@@ -382,6 +389,7 @@ def _soak_violations(
     dups: int,
     crash_events: int = 0,
     repairs: int = 0,
+    reliable: bool = False,
 ) -> list[str]:
     """The conformance fuzzer's invariant matrix, applied to a live run."""
     v: list[str] = []
@@ -391,22 +399,33 @@ def _soak_violations(
         )
     if stats.missing != 0:
         v.append(f"missing={stats.missing} deliveries unaccounted for")
-    if stats.duplicates != dups:
-        v.append(
-            f"duplicates={stats.duplicates} != injected link copies {dups}"
-        )
-    if protocol == "home-broker":
-        if stats.lost_explicit < drops:
+    if reliable:
+        # no duplicate bound under reliability: retransmission adds copies
+        # the injector never made, while sequence-number reassembly absorbs
+        # injected copies of buffered or stale-session frames before they
+        # reach the delivery meter — the count is decoupled both ways
+        if protocol != "home-broker" and stats.lost_explicit != 0:
             v.append(
-                f"lost={stats.lost_explicit} < injected link drops {drops}"
+                f"reliable run lost {stats.lost_explicit} deliveries "
+                f"(every wireless drop must be recovered or written off)"
             )
     else:
-        if stats.lost_explicit != drops:
+        if stats.duplicates != dups:
             v.append(
-                f"lost={stats.lost_explicit} != injected link drops {drops}"
+                f"duplicates={stats.duplicates} != injected link copies {dups}"
             )
-        if stats.order_violations != 0:
-            v.append(f"order_violations={stats.order_violations}")
+        if protocol == "home-broker":
+            if stats.lost_explicit < drops:
+                v.append(
+                    f"lost={stats.lost_explicit} < injected link drops {drops}"
+                )
+        else:
+            if stats.lost_explicit != drops:
+                v.append(
+                    f"lost={stats.lost_explicit} != injected link drops {drops}"
+                )
+    if protocol != "home-broker" and stats.order_violations != 0:
+        v.append(f"order_violations={stats.order_violations}")
     if stats.published == 0:
         v.append("degenerate soak: nothing was published")
     return v
@@ -427,6 +446,9 @@ def run_soak(
     faults: Optional[Any] = None,
     crashes: Optional[Any] = None,
     drain_timeout_s: float = 60.0,
+    reliable: bool = False,
+    retry_budget: int = 8,
+    queue_cap: Optional[int] = None,
 ) -> SoakResult:
     """Run a live churn workload on an asyncio loop and audit delivery.
 
@@ -449,6 +471,9 @@ def run_soak(
             seed=seed,
             faults=faults,
             crashes=crashes,
+            reliable=reliable,
+            retry_budget=retry_budget,
+            queue_cap=queue_cap,
             driver=LiveDriver(clock),
         )
         spec = WorkloadSpec(
@@ -491,6 +516,7 @@ def run_soak(
         dups,
         crash_events=len(crashes.events) if crashes is not None else 0,
         repairs=system.recovery.repairs if system.recovery else 0,
+        reliable=reliable,
     )
     if not drained:
         violations.insert(

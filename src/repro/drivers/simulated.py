@@ -44,6 +44,8 @@ class SimulatedDriver(Driver):
         account: Optional[Callable[[str, int, bool], None]] = None,
         unicast_hops: Optional[Callable[[int, int], int]] = None,
         faults: Optional[Any] = None,
+        queue_cap: Optional[int] = None,
+        on_shed: Optional[Callable[[Any, int], bool]] = None,
     ) -> Transport:
         return LinkLayer(
             self.sim,
@@ -54,4 +56,6 @@ class SimulatedDriver(Driver):
             account=account,
             unicast_hops=unicast_hops,
             faults=faults,
+            queue_cap=queue_cap,
+            on_shed=on_shed,
         )

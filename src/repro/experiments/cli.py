@@ -19,9 +19,12 @@ delivery invariant matrix (see :mod:`repro.drivers.live`).
 Adversarial variants of the paper sweeps: ``--loss/--dup/--jitter`` switch
 on seeded wireless fault injection (:mod:`repro.network.faults`) and
 ``--mobility``/``--topic-skew`` swap the movement and topic-popularity
-models (:mod:`repro.workload.models`). All default off — the plain
-invocation reproduces the paper bit-for-bit. The fault flags apply to
-``soak`` too.
+models (:mod:`repro.workload.models`). ``--reliable`` (with
+``--retry-budget``) turns on the end-to-end ACK/retransmit layer and
+``--queue-cap`` bounds each client's downlink queue with explicit load
+shedding (:mod:`repro.pubsub.reliability`). All default off — the plain
+invocation reproduces the paper bit-for-bit. The fault and reliability
+flags apply to ``soak`` too.
 
 Broker failures (soak only): ``--broker-crash B@T`` / ``--broker-restart
 B@T`` / ``--link-partition A-B@T`` schedule overlay failures at model
@@ -74,6 +77,9 @@ def _run_soak(args, faults: Optional[FaultProfile]) -> int:
             time_scale=args.time_scale,
             faults=faults,
             crashes=crashes,
+            reliable=args.reliable,
+            retry_budget=args.retry_budget,
+            queue_cap=args.queue_cap,
         )
         st = result.stats
         status = "PASS" if result.passed else "FAIL"
@@ -130,6 +136,19 @@ def main(argv: Sequence[str] | None = None) -> int:
     parser.add_argument("--jitter", type=float, default=0.0, metavar="MS",
                         help="max extra wireless service latency in ms "
                              "(default 0)")
+    parser.add_argument("--reliable", action="store_true",
+                        help="end-to-end reliable downlink delivery: "
+                             "ACK/retransmit with deterministic backoff + "
+                             "per-link circuit breakers (default off = the "
+                             "paper's best-effort downlink)")
+    parser.add_argument("--retry-budget", type=int, default=None, metavar="N",
+                        help="retransmission attempts per frame before the "
+                             "window is written off (default 8; needs "
+                             "--reliable)")
+    parser.add_argument("--queue-cap", type=int, default=None, metavar="N",
+                        help="bound each client's downlink queue at N "
+                             "messages; beyond it data is shed explicitly, "
+                             "control never (default: unbounded)")
     parser.add_argument("--mobility", default=None,
                         choices=sorted(MOBILITY_MODELS),
                         help="mobility model for mobile clients "
@@ -207,6 +226,10 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.crash_repair_delay is None:
         from repro.network.recovery import DEFAULT_REPAIR_DELAY_MS
         args.crash_repair_delay = DEFAULT_REPAIR_DELAY_MS
+    if args.retry_budget is not None and not args.reliable:
+        parser.error("--retry-budget needs --reliable")
+    if args.retry_budget is None:
+        args.retry_budget = 8
 
     faults = None
     if args.loss or args.dup or args.jitter:
@@ -236,6 +259,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         rows5 = figures.run_fig5(
             scale=args.scale, seed=args.seed, workers=args.workers,
             faults=faults, workload_overrides=overrides or None,
+            reliable=args.reliable, retry_budget=args.retry_budget,
+            queue_cap=args.queue_cap,
         )
         if "fig5a" in want:
             out.append(report.format_series(
@@ -253,6 +278,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         rows6 = figures.run_fig6(
             scale=args.scale, seed=args.seed, workers=args.workers,
             faults=faults, workload_overrides=overrides or None,
+            reliable=args.reliable, retry_budget=args.retry_budget,
+            queue_cap=args.queue_cap,
         )
         if "fig6a" in want:
             out.append(report.format_series(

@@ -56,6 +56,15 @@ class ExperimentConfig:
     #: broker crash/restart/partition schedule (None = crash-free; see
     #: repro.network.recovery)
     crashes: Optional[CrashPlan] = None
+    #: end-to-end reliable downlink delivery (ACK/retransmit with backoff
+    #: + per-link circuit breakers; see repro.pubsub.reliability).
+    #: Default off = the paper's best-effort downlink, byte-identical.
+    reliable: bool = False
+    #: retransmission attempts per frame before the window is written off
+    retry_budget: int = 8
+    #: downlink bulkhead: max queued messages per client before the shed
+    #: policy runs (None = unbounded, the paper's model)
+    queue_cap: Optional[int] = None
 
     def with_workload(self, **changes: Any) -> "ExperimentConfig":
         return replace(self, workload=replace(self.workload, **changes))
@@ -71,12 +80,17 @@ class ExperimentConfig:
             if self.crashes is not None and self.crashes.active
             else ""
         )
+        rel_tag = ""
+        if self.reliable:
+            rel_tag = f" rel(budget={self.retry_budget})"
+        if self.queue_cap is not None:
+            rel_tag += f" cap={self.queue_cap}"
         return (
             f"{self.protocol} k={self.grid_k} "
             f"conn={self.workload.mean_connected_s:g}s "
             f"disc={self.workload.mean_disconnected_s:g}s "
             f"T={self.workload.duration_s:g}s seed={self.seed}"
-            f"{fault_tag}{crash_tag}"
+            f"{fault_tag}{crash_tag}{rel_tag}"
         )
 
 

@@ -97,6 +97,9 @@ def _sweep_conn(
     workers: Optional[int] = None,
     faults: Optional[FaultProfile] = None,
     workload_overrides: Optional[Mapping[str, Any]] = None,
+    reliable: bool = False,
+    retry_budget: int = 8,
+    queue_cap: Optional[int] = None,
 ) -> list[ResultRow]:
     preset = SCALES[scale]
     overrides = _checked_overrides(
@@ -110,6 +113,9 @@ def _sweep_conn(
             grid_k=preset["grid_k"],
             seed=seed,
             faults=faults,
+            reliable=reliable,
+            retry_budget=retry_budget,
+            queue_cap=queue_cap,
             workload=WorkloadSpec(
                 clients_per_broker=preset["clients_per_broker"],
                 mean_connected_s=conn_s,
@@ -132,6 +138,9 @@ def _sweep_size(
     workers: Optional[int] = None,
     faults: Optional[FaultProfile] = None,
     workload_overrides: Optional[Mapping[str, Any]] = None,
+    reliable: bool = False,
+    retry_budget: int = 8,
+    queue_cap: Optional[int] = None,
 ) -> list[ResultRow]:
     preset = SCALES[scale]
     overrides = _checked_overrides(
@@ -145,6 +154,9 @@ def _sweep_size(
             grid_k=k,
             seed=seed,
             faults=faults,
+            reliable=reliable,
+            retry_budget=retry_budget,
+            queue_cap=queue_cap,
             workload=WorkloadSpec(
                 clients_per_broker=preset["clients_per_broker"],
                 mean_connected_s=300.0,
@@ -170,6 +182,9 @@ def run_fig5(
     workers: Optional[int] = None,
     faults: Optional[FaultProfile] = None,
     workload_overrides: Optional[Mapping[str, Any]] = None,
+    reliable: bool = False,
+    retry_budget: int = 8,
+    queue_cap: Optional[int] = None,
 ) -> list[ResultRow]:
     """Both panels of Figure 5 share one sweep; run it once.
 
@@ -182,6 +197,7 @@ def run_fig5(
     return _sweep_conn(
         scale, protocols, conn_periods_s or CONN_PERIOD_SWEEP_S, seed,
         workers=workers, faults=faults, workload_overrides=workload_overrides,
+        reliable=reliable, retry_budget=retry_budget, queue_cap=queue_cap,
     )
 
 
@@ -193,6 +209,9 @@ def run_fig6(
     workers: Optional[int] = None,
     faults: Optional[FaultProfile] = None,
     workload_overrides: Optional[Mapping[str, Any]] = None,
+    reliable: bool = False,
+    retry_budget: int = 8,
+    queue_cap: Optional[int] = None,
 ) -> list[ResultRow]:
     """Both panels of Figure 6 share one sweep; run it once.
 
@@ -203,6 +222,7 @@ def run_fig6(
     return _sweep_size(
         scale, protocols, grid_sizes or GRID_SIZE_SWEEP, seed, workers=workers,
         faults=faults, workload_overrides=workload_overrides,
+        reliable=reliable, retry_budget=retry_budget, queue_cap=queue_cap,
     )
 
 

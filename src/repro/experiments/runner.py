@@ -41,6 +41,9 @@ def build_system(cfg: ExperimentConfig) -> tuple[PubSubSystem, Workload]:
         matching_engine=cfg.matching_engine,
         faults=cfg.faults,
         crashes=cfg.crashes,
+        reliable=cfg.reliable,
+        retry_budget=cfg.retry_budget,
+        queue_cap=cfg.queue_cap,
     )
     workload = Workload(system, cfg.workload)
     return system, workload

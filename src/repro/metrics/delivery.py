@@ -42,6 +42,14 @@ class DeliveryStats:
     #: from the at-risk pair marking (see ``DeliveryChecker.crash_lost``);
     #: always 0 for crash-free runs
     crash_lost: int = 0
+    #: wireless drops the reliability layer retransmitted successfully —
+    #: diagnostic only (recovered events also count in ``delivered``);
+    #: always 0 without the reliability layer
+    recovered: int = 0
+    #: deliveries explicitly written off by the overload policy (bounded
+    #: queue shed, breaker-open shed, retry-budget exhaustion); always 0
+    #: without a queue cap / reliability layer
+    shed: int = 0
 
     @property
     def missing(self) -> int:
@@ -51,6 +59,7 @@ class DeliveryStats:
             - (self.delivered - self.duplicates)
             - self.lost_explicit
             - self.crash_lost
+            - self.shed
         )
 
 
@@ -86,6 +95,18 @@ class DeliveryChecker:
         # crash tracking is on, so a marked pair that the wireless fault
         # injector happened to drop is not double-counted
         self._lost_pairs: set[tuple[int, int]] = set()
+        # reliability-mode reconciliation (inert unless enable_reliability):
+        # the retransmit/shed machinery makes the final fate of a dropped
+        # frame unknowable at drop time, so every write-off candidate is
+        # *marked* and the books are settled once, at end of run, with
+        # precedence delivered > shed > lost > crash_lost
+        self._rel_mode = False
+        # drops covered by an active retransmit window at drop time
+        self._recover_marked: dict[tuple[int, int], tuple[int, int]] = {}
+        # explicit overload write-offs (queue shed / breaker / exhaustion)
+        self._shed_marked: dict[tuple[int, int], tuple[int, int]] = {}
+        # fault drops with no retry cover (counted lost if never delivered)
+        self._loss_marked: dict[tuple[int, int], tuple[int, int]] = {}
 
     # ------------------------------------------------------------------
     # crash-loss accounting (the accounted-loss crash model)
@@ -123,13 +144,87 @@ class DeliveryChecker:
                 continue
             if (client, event_id) in self._lost_pairs:
                 continue
+            if self._rel_mode and (client, event_id) in self._shed_marked:
+                continue  # already settled as an overload write-off
             lost += 1
         return lost
 
+    # ------------------------------------------------------------------
+    # reliability-mode reconciliation
+    # ------------------------------------------------------------------
+    def enable_reliability(self) -> None:
+        """Switch loss accounting to end-of-run reconciliation (see above)."""
+        self._rel_mode = True
+
+    def _delivered_ps(self, client: int, publisher: int, seq: int) -> bool:
+        seen = self._seen.get((client, publisher))
+        return seen is not None and seq in seen
+
+    def on_recoverable_drop(self, client: int, event: Notification) -> None:
+        """A reliable frame was dropped while its retransmit window is
+        live: no write-off yet — the retry either delivers it (counted
+        ``recovered``) or the window is shed/exhausted (counted there)."""
+        self._recover_marked[(client, event.event_id)] = (
+            event.publisher, event.seq
+        )
+
+    def mark_shed(self, client: int, event: Notification) -> None:
+        """The overload policy wrote this delivery off explicitly.
+
+        Over-marking is harmless — a marked pair that is delivered anyway
+        (e.g. a copy already on the air when the window was exhausted)
+        reconciles to zero at finalize.
+        """
+        self._shed_marked[(client, event.event_id)] = (
+            event.publisher, event.seq
+        )
+
     def finalize_crash_accounting(self) -> None:
-        """Fold the reconciled crash losses into :attr:`stats` (end of run)."""
+        """Settle all reconciled ledgers into :attr:`stats` (end of run).
+
+        Idempotent: every reconciled counter is recomputed from the marked
+        pairs, so the runner may call this at each quiescence point. The
+        name predates the reliability layer; ``finalize_accounting`` is
+        the alias new call sites use.
+        """
+        if self._rel_mode:
+            recovered = 0
+            lost = 0
+            shed = 0
+            for (client, eid), (pub, seq) in self._shed_marked.items():
+                if not self._delivered_ps(client, pub, seq):
+                    shed += 1
+            for (client, eid), (pub, seq) in self._loss_marked.items():
+                if self._delivered_ps(client, pub, seq):
+                    continue  # a later retransmit of a retired window won
+                if (client, eid) in self._shed_marked:
+                    continue  # written off as shed, count once
+                if (client, eid) in self._crash_marked:
+                    continue  # settled by the crash ledger (crash > lost)
+                lost += 1
+            for (client, eid), (pub, seq) in self._recover_marked.items():
+                if self._delivered_ps(client, pub, seq):
+                    recovered += 1
+                    continue
+                if (client, eid) in self._shed_marked or (
+                    (client, eid) in self._loss_marked
+                ):
+                    continue
+                if (client, eid) in self._crash_marked:
+                    continue  # settled by the crash ledger below
+                # a drop the layer claimed retry cover for but never
+                # redelivered nor wrote off: surface it as a loss so the
+                # reliability invariant lane fails loudly instead of
+                # hiding the hole in `missing`
+                lost += 1
+            self.stats.recovered = recovered
+            self.stats.lost_explicit = lost
+            self.stats.shed = shed
         if self._track_crash:
             self.stats.crash_lost = self.crash_lost()
+
+    #: preferred name since the ledger grew beyond crash accounting
+    finalize_accounting = finalize_crash_accounting
 
     # ------------------------------------------------------------------
     def register_subscription(self, client: int, lo: float, hi: float) -> None:
@@ -187,6 +282,16 @@ class DeliveryChecker:
 
     def on_loss(self, client: int, event: Notification) -> None:
         """An event for ``client`` was irrecoverably dropped (home-broker)."""
+        if self._rel_mode:
+            # under reliability "irrecoverable" is provisional: a straggler
+            # copy of the same event may still deliver (retired-window
+            # retransmit, reclaim redelivery) — mark and settle at finalize
+            # (crash-marked pairs settle in the crash ledger instead, so
+            # _lost_pairs stays untouched here)
+            self._loss_marked[(client, event.event_id)] = (
+                event.publisher, event.seq
+            )
+            return
         self.stats.lost_explicit += 1
         if self._track_crash:
             self._lost_pairs.add((client, event.event_id))

@@ -53,6 +53,9 @@ class MetricsHub:
     def on_loss(self, client: int, event: Notification) -> None:
         self.delivery.on_loss(client, event)
 
+    def on_recoverable_drop(self, client: int, event: Notification) -> None:
+        self.delivery.on_recoverable_drop(client, event)
+
     # -- derived metrics ---------------------------------------------------
     def overhead_per_handoff(self) -> Optional[float]:
         n = self.handoffs.handoff_count

@@ -40,6 +40,22 @@ class TrafficMeter:
         self.faults_by_link: defaultdict[tuple[str, int, str], int] = (
             defaultdict(int)
         )
+        # reliability-layer ledgers (all zero unless the layer is on):
+        #: client -> retransmitted frames, per cause ("timeout" — RTO
+        #: fired; "nack" — gap-triggered fast retransmit; "requeue" —
+        #: detach safety-net requeue of an unacked window)
+        self.retransmits_by_client: defaultdict[tuple[int, str], int] = (
+            defaultdict(int)
+        )
+        #: client -> deliveries shed, per cause ("queue_cap" — bulkhead
+        #: tail-drop; "breaker" — link breaker open; "retry_exhausted")
+        self.shed_by_client: defaultdict[tuple[int, str], int] = (
+            defaultdict(int)
+        )
+        #: (broker, client) -> times that link's circuit breaker tripped
+        self.breaker_trips: defaultdict[tuple[int, int], int] = (
+            defaultdict(int)
+        )
 
     # Signature matches repro.network.links.AccountFn.
     def account(self, category: str, hops: int, wireless: bool) -> None:
@@ -59,6 +75,16 @@ class TrafficMeter:
             self.wireless_duplicated[category] += 1
         self.faults_by_link[(kind, client, direction)] += 1
 
+    # Reliability-layer ledgers (repro.pubsub.reliability).
+    def account_retransmit(self, client: int, cause: str) -> None:
+        self.retransmits_by_client[(client, cause)] += 1
+
+    def account_shed(self, cause: str, client: int) -> None:
+        self.shed_by_client[(client, cause)] += 1
+
+    def account_breaker_trip(self, broker: int, client: int) -> None:
+        self.breaker_trips[(broker, client)] += 1
+
     # ------------------------------------------------------------------
     def total_wired(self) -> int:
         return sum(self.wired_hops.values())
@@ -70,6 +96,17 @@ class TrafficMeter:
     def total_duplicated(self) -> int:
         """Total duplicate wireless copies injected by fault injection."""
         return sum(self.wireless_duplicated.values())
+
+    def total_retransmits(self) -> int:
+        """Total reliability-layer retransmissions (all causes)."""
+        return sum(self.retransmits_by_client.values())
+
+    def total_shed(self) -> int:
+        """Total deliveries shed by the overload policy (all causes)."""
+        return sum(self.shed_by_client.values())
+
+    def total_breaker_trips(self) -> int:
+        return sum(self.breaker_trips.values())
 
     def link_fault_counts(self, kind: str) -> dict[tuple[int, str], int]:
         """Per-(client, direction) counts of one fault kind."""
@@ -94,6 +131,9 @@ class TrafficMeter:
         self.wireless_dropped.clear()
         self.wireless_duplicated.clear()
         self.faults_by_link.clear()
+        self.retransmits_by_client.clear()
+        self.shed_by_client.clear()
+        self.breaker_trips.clear()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         cats = ", ".join(f"{k}={v}" for k, v in sorted(self.wired_hops.items()))

@@ -46,7 +46,14 @@ class PersistentQueue:
         self.events.append(event)
 
     def extend_front(self, events: list[Notification]) -> None:
-        """Put reclaimed wireless-pending events back at the head, in order."""
+        """Put reclaimed wireless-pending events back at the head, in order.
+
+        Frozen queues reject this like :meth:`append`: a TQ mid-migration
+        has already been snapshotted into transfer batches, so a late
+        retransmit re-queue landing here would silently fork the backlog.
+        """
+        if self.frozen:
+            raise RuntimeError(f"extend_front on frozen queue {self.ref}")
         for ev in reversed(events):
             self.events.appendleft(ev)
 

@@ -101,6 +101,8 @@ class _WirelessChannel:
         "client",
         "direction",
         "_dup_ids",
+        "queue_cap",
+        "on_shed",
     )
 
     def __init__(
@@ -111,6 +113,8 @@ class _WirelessChannel:
         faults: Optional[LinkFaultInjector] = None,
         client: int = -1,
         direction: str = DOWNLINK,
+        queue_cap: Optional[int] = None,
+        on_shed: Optional[Callable[[Any, int], bool]] = None,
     ) -> None:
         self.clock = clock
         self.latency = latency
@@ -121,12 +125,28 @@ class _WirelessChannel:
         self.faults = faults
         self.client = client
         self.direction = direction
+        # bulkhead: with a cap configured, data traffic that would queue
+        # beyond it is handed to on_shed(msg, client) -> bool; True means
+        # the policy shed it (never control — the policy returns False and
+        # the message is admitted over-cap). None = unbounded, the default.
+        self.queue_cap = queue_cap
+        self.on_shed = on_shed
         # id()s of in-channel messages flagged for duplicate handover; ids
         # are stable here because the message object is referenced by the
         # channel until its _finish removes the flag
         self._dup_ids: set[int] = set()
 
     def send(self, msg: Any) -> None:
+        if (
+            self.on_shed is not None
+            and len(self.queue) >= self.queue_cap
+            and not (self._in_service is None and self.clock.now >= self.busy_until)
+            and self.on_shed(msg, self.client)
+        ):
+            # shed before the fate draw: a message that never enters the
+            # channel consumes no fault randomness, so capped and uncapped
+            # runs stay replayable from the same seed up to the overload
+            return
         if self.faults is not None:
             fate = self.faults.fate(msg, self.client, self.direction)
             if fate == "drop":
@@ -180,6 +200,18 @@ class _WirelessChannel:
                 self._dup_ids.discard(id(msg))
         return pending
 
+    def requeue(self, msgs: list[Any]) -> None:
+        """Put already-sent frames back at the head of the queue, in order.
+
+        Bypasses the fate draw (these frames took theirs on the original
+        send) and the bulkhead (they were admitted once; dropping them now
+        would turn a requeue into silent loss). Restarts service if idle.
+        """
+        self.queue.extendleft(reversed(msgs))
+        if self._in_service is None and self.clock.now >= self.busy_until:
+            if self.queue:
+                self._start(self.queue.popleft())
+
     @property
     def backlog(self) -> int:
         return len(self.queue) + (1 if self._in_service is not None else 0)
@@ -203,6 +235,8 @@ class LinkLayer:
         account: Optional[AccountFn] = None,
         unicast_hops: Optional[Callable[[int, int], int]] = None,
         faults: Optional[LinkFaultInjector] = None,
+        queue_cap: Optional[int] = None,
+        on_shed: Optional[Callable[[Any, int], bool]] = None,
     ) -> None:
         self.clock = clock
         self.topo = topo
@@ -216,6 +250,13 @@ class LinkLayer:
         #: — the default — keeps every path below byte-identical to the
         #: crash-free link layer (one attribute test per wired send)
         self.recovery = None
+        #: reliability manager (repro.pubsub.reliability); None — the
+        #: default — keeps reclaim and send paths byte-identical
+        self.reliability = None
+        #: downlink bulkhead: max queued messages per client before the
+        #: shed policy runs (None = unbounded, the paper's model)
+        self.queue_cap = queue_cap
+        self._on_shed = on_shed
         # hop metric for multi-hop unicast; defaults to grid shortest paths
         # (paper §5.1); the tree-routing ablation overrides it
         self._unicast_hops = unicast_hops or paths.hop_count
@@ -242,6 +283,8 @@ class LinkLayer:
             faults=self.faults,
             client=client_id,
             direction=DOWNLINK,
+            queue_cap=self.queue_cap,
+            on_shed=self._on_shed if self.queue_cap is not None else None,
         )
         self._uplinks[client_id] = _WirelessChannel(
             self.clock,
@@ -364,8 +407,53 @@ class LinkLayer:
         rx(msg, -1 - client_id)
 
     def cancel_downlink_pending(self, client_id: int) -> list[Any]:
-        """Reclaim queued downlink messages for a client (see MHH PQ3)."""
-        return self._downlinks[client_id].cancel_pending()
+        """Reclaim queued downlink messages for a client (see MHH PQ3).
+
+        Under reliability the reclaim is widened to the client's full
+        unacked windows: transmitted-but-dropped (and delivered-but-
+        unacked) reliable messages join the queued ones in send order, so
+        the protocol's existing requeue-and-redeliver machinery recovers
+        wireless losses through a handoff. The client-side receive state
+        dedups the delivered-but-unacked overlap.
+        """
+        pending = self._downlinks[client_id].cancel_pending()
+        rel = self.reliability
+        if rel is not None:
+            return rel.reclaim_link(
+                client_id, pending, self._downlinks[client_id]._in_service
+            )
+        return pending
+
+    def requeue_downlink_unacked(self, client_id: int) -> list[Any]:
+        """Detach safety net: requeue a client's leftover unacked frames.
+
+        For protocol paths that drop a client without a downlink reclaim,
+        any reliable frames still unacked (and not already sitting in the
+        channel) are pushed back onto the raw channel — no fate draw, no
+        bulkhead — so the backlog drains to the detached client exactly as
+        unreclaimed plain deliveries always have. Retires the link state
+        and its timers either way. Returns the requeued frames.
+        """
+        rel = self.reliability
+        if rel is None:
+            return []
+        links = rel.pop_links_for_client(client_id)
+        if not links:
+            return []
+        ch = self._downlinks[client_id]
+        present = set(map(id, ch.queue))
+        if ch._in_service is not None:
+            present.add(id(ch._in_service))
+        requeued: list[Any] = []
+        for link in links:
+            for msg in link.unacked.values():
+                if id(msg) not in present:
+                    present.add(id(msg))
+                    requeued.append(msg)
+            rel.retire_link(link)
+        if requeued:
+            ch.requeue(requeued)
+        return requeued
 
     def downlink_backlog(self, client_id: int) -> int:
         return self._downlinks[client_id].backlog

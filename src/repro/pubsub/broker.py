@@ -91,6 +91,11 @@ class Broker:
             self, msg.client, msg.last_broker, msg.epoch
         )
 
+    def _rx_ack(self, msg: m.AckMessage, frm: int) -> None:
+        # a client only generates acks for reliable deliveries, so the
+        # manager is always present when one arrives
+        self.system.reliability.on_ack(self.id, msg)
+
     # ------------------------------------------------------------------
     # event routing (hot path)
     # ------------------------------------------------------------------
@@ -119,7 +124,16 @@ class Broker:
             protocol.on_event_for_client(self, entry, event, from_broker)
 
     def deliver_to_client(self, client: int, event: Notification) -> None:
-        """Queue one event on the client's wireless downlink."""
+        """Queue one event on the client's wireless downlink.
+
+        This is the single funnel every protocol's final delivery goes
+        through; with the reliability layer enabled it sequences the
+        message and arms the retransmission machinery instead.
+        """
+        rel = self.system.reliability
+        if rel is not None:
+            rel.send(self.id, client, event)
+            return
         self.net.send_client(client, m.DeliverMessage(client, event))
 
     # ------------------------------------------------------------------
@@ -176,6 +190,7 @@ class Broker:
         m.SubscribeMessage: _handle_subscribe,
         m.UnsubscribeMessage: _handle_unsubscribe,
         m.ConnectMessage: _rx_connect,
+        m.AckMessage: _rx_ack,
     }
 
     def _advertise(self, nbr: int, key: Hashable, f: Filter, category: str) -> None:

@@ -58,6 +58,14 @@ class Client:
         #: even learns of it)
         self.connect_epoch = 0
         self._pub_seq = 0
+        #: optional application callback, invoked exactly once per distinct
+        #: event (see _deliver_event); the delivery ledger still records
+        #: every copy, so the duplicates metric is unaffected
+        self.on_event = None
+        #: (publisher, seq) pairs already handed to the application —
+        #: retransmission makes duplicates a normal event, not only a
+        #: fault artifact, so the client dedups before the app boundary
+        self._seen_events: set = set()
         system.net.register_client(client_id, self._on_downlink)
 
     # ------------------------------------------------------------------
@@ -96,6 +104,11 @@ class Client:
         self.last_broker = broker
         self.system.metrics.on_client_disconnect(self.id, self.system.clock.now)
         self.system.protocol.on_disconnect(self.system.brokers[broker], self.id)
+        rel = self.system.reliability
+        if rel is not None:
+            # safety net AFTER the protocol handler: whatever the handoff
+            # did not reclaim keeps draining to the detached client
+            rel.on_client_detach(self.id)
 
     def force_disconnect(self) -> None:
         """Crash-side detach: the attached broker just died, so no protocol
@@ -105,6 +118,11 @@ class Client:
         self.current_broker = None
         self.last_broker = broker
         self.system.metrics.on_client_disconnect(self.id, self.system.clock.now)
+        rel = self.system.reliability
+        if rel is not None:
+            # the crash reclaim (RecoveryCoordinator) marks whatever it
+            # pulls; this only clears timers/links the reclaim missed
+            rel.on_client_detach(self.id)
 
     def proclaim_and_disconnect(self, dest_broker: int) -> None:
         """Proclaimed move (§4.1): announce the destination, then detach.
@@ -121,6 +139,9 @@ class Client:
         self.system.protocol.on_proclaimed_disconnect(
             self.system.brokers[broker], self.id, dest_broker
         )
+        rel = self.system.reliability
+        if rel is not None:
+            rel.on_client_detach(self.id)
 
     def _require_connected(self, op: str) -> int:
         if not self.connected or self.current_broker is None:
@@ -153,11 +174,29 @@ class Client:
 
     def _on_downlink(self, msg: m.Message) -> None:
         if type(msg) is m.DeliverMessage:
-            self.system.metrics.on_delivery(
-                self.id, msg.event, self.system.clock.now
-            )
+            self._deliver_event(msg.event)
+        elif type(msg) is m.ReliableDeliver:
+            # sequenced delivery: the reliability layer orders/dedups per
+            # (client, origin) session and calls back into _deliver_event
+            self.system.reliability.on_deliver(self, msg)
         else:  # pragma: no cover - no other downlink message types exist
             raise ClientStateError(f"unexpected downlink message {msg!r}")
+
+    def _deliver_event(self, event: Notification) -> None:
+        """Record one delivered copy; hand *distinct* events to the app.
+
+        Every copy — including retransmitted and fault-duplicated ones —
+        reaches the delivery ledger (which owns the ``duplicates``
+        metric); the application callback sees each (publisher, seq)
+        exactly once.
+        """
+        self.system.metrics.on_delivery(self.id, event, self.system.clock.now)
+        key = (event.publisher, event.seq)
+        if key in self._seen_events:
+            return
+        self._seen_events.add(key)
+        if self.on_event is not None:
+            self.on_event(event)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         where = f"@B{self.current_broker}" if self.connected else "offline"

@@ -24,6 +24,7 @@ __all__ = [
     "CAT_MOBILITY_CTRL",
     "CAT_MIGRATION",
     "CAT_HB_FORWARD",
+    "CAT_RELIABILITY",
     "OVERHEAD_CATEGORIES",
     "Message",
     "EventMessage",
@@ -32,6 +33,8 @@ __all__ = [
     "PublishMessage",
     "ConnectMessage",
     "DeliverMessage",
+    "ReliableDeliver",
+    "AckMessage",
     "HandoffRequest",
     "SubMigration",
     "SubMigrationAck",
@@ -59,10 +62,14 @@ CAT_SUB_HANDOFF = "sub_handoff"      # sub/unsub floods triggered by handoffs
 CAT_MOBILITY_CTRL = "mobility_ctrl"  # handoff control messages
 CAT_MIGRATION = "event_migration"    # queue transfers between brokers
 CAT_HB_FORWARD = "hb_forward"        # home->foreign live event forwarding
+CAT_RELIABILITY = "reliability"      # end-to-end ACK/NACK traffic (uplink)
 
 #: Categories whose wired hops count toward "message overhead per handoff".
+#: CAT_RELIABILITY is included for principle, but acks only ever travel the
+#: wireless uplink, so they contribute no wired hops in practice.
 OVERHEAD_CATEGORIES = frozenset(
-    {CAT_SUB_HANDOFF, CAT_MOBILITY_CTRL, CAT_MIGRATION, CAT_HB_FORWARD}
+    {CAT_SUB_HANDOFF, CAT_MOBILITY_CTRL, CAT_MIGRATION, CAT_HB_FORWARD,
+     CAT_RELIABILITY}
 )
 
 
@@ -152,6 +159,52 @@ class DeliverMessage(Message):
     def __init__(self, client: int, event: Notification) -> None:
         self.client = client
         self.event = event
+
+
+class ReliableDeliver(DeliverMessage):
+    """Sequence-numbered downlink delivery (reliability layer).
+
+    A :class:`DeliverMessage` subclass so every protocol reclaim path that
+    filters on ``isinstance(p, DeliverMessage)`` picks reliable deliveries
+    up unchanged. ``origin`` names the sending broker (the client addresses
+    its cumulative ack there); ``session`` scopes ``rel_seq`` to one
+    broker-side transmit epoch — sessions are monotone per (broker, client)
+    link, so a receiver can tell a live stream from pre-detach stragglers.
+    """
+
+    __slots__ = ("origin", "session", "rel_seq")
+
+    def __init__(
+        self, client: int, event: Notification,
+        origin: int, session: int, rel_seq: int,
+    ) -> None:
+        super().__init__(client, event)
+        self.origin = origin
+        self.session = session
+        self.rel_seq = rel_seq
+
+
+class AckMessage(Message):
+    """Client uplink: cumulative ack + NACK gap list for one session.
+
+    ``cum_ack`` is the highest rel_seq delivered *in order* (-1 if none);
+    ``nacks`` names the gaps below the highest buffered out-of-order
+    sequence, so the broker can fast-retransmit without waiting for the
+    retransmission timer.
+    """
+
+    __slots__ = ("client", "origin", "session", "cum_ack", "nacks")
+    category = CAT_RELIABILITY
+
+    def __init__(
+        self, client: int, origin: int, session: int,
+        cum_ack: int, nacks: tuple[int, ...] = (),
+    ) -> None:
+        self.client = client
+        self.origin = origin
+        self.session = session
+        self.cum_ack = cum_ack
+        self.nacks = nacks
 
 
 # ---------------------------------------------------------------------------

@@ -207,7 +207,8 @@ class RecoveryCoordinator:
         repair round rebuilds the structure they would have built."""
         checker = self.system.metrics.delivery
         t = type(msg)
-        if t is m.DeliverMessage or t is m.ForwardedEvent:
+        if t is m.ForwardedEvent or isinstance(msg, m.DeliverMessage):
+            # isinstance: ReliableDeliver frames carry event cargo too
             checker.mark_crash_risk(msg.client, msg.event)
         elif t is m.MigrateBatch or t is m.TransferBatch or t is m.ForwardedBatch:
             for ev in msg.events:
@@ -249,8 +250,12 @@ class RecoveryCoordinator:
         for cid in sorted(system.clients):
             client = system.clients[cid]
             if client.connected and client.current_broker == bid:
+                # under reliability the reclaim is widened to the client's
+                # unacked windows (and retires their retransmit timers), so
+                # a crashed broker's in-flight reliable backlog is marked
+                # here through the same call
                 for pending in system.net.reclaim_downlink(cid):
-                    if type(pending) is m.DeliverMessage:
+                    if isinstance(pending, m.DeliverMessage):
                         checker.mark_crash_risk(cid, pending.event)
                 client.force_disconnect()
         broker.queues.clear()

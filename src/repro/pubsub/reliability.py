@@ -1,0 +1,522 @@
+"""End-to-end reliable downlink delivery: ACK/retransmit, breakers, backoff.
+
+The fault layer (PR 4) makes the wireless downlink lossy and the crash
+model (PR 6) makes brokers mortal — but until now a dropped
+:class:`~repro.pubsub.messages.DeliverMessage` was merely *accounted* as
+lost. This module recovers it: with ``reliable=True`` every final delivery
+is sequence-numbered per (broker, client) link, the client returns
+cumulative ACKs (with NACK gap lists for fast retransmit), and the broker
+retransmits on a deterministic exponential-backoff timer until the event
+is acknowledged, the retry budget is exhausted, or the link's circuit
+breaker trips.
+
+Design constraints, in order:
+
+* **Default-off is byte-identical.** The manager is only constructed when
+  ``reliable=True``; no default code path allocates, branches or draws
+  randomness differently.
+* **Sans-IO and replayable.** All timing goes through the system's
+  :class:`~repro.drivers.base.Clock` facade and all jitter comes from a
+  dedicated :class:`~repro.sim.rng.RandomStreams` stream
+  (``reliability/backoff``), so the same seed produces the same retry
+  schedule under the discrete-event simulator and the live VirtualClock
+  driver (property-tested in ``tests/test_reliability.py``).
+* **Composes with protocol reclaim.** On detach, the link layer's
+  ``reclaim_downlink`` (which every mobility protocol already calls)
+  returns the link's *entire* unacked window — transmitted-and-dropped
+  messages included — in send order, so MHH/sub-unsub/two-phase requeue
+  them through their existing PQ machinery and redeliver after the
+  handoff. Protocol paths that skip the reclaim are covered by a detach
+  safety net that requeues leftovers onto the raw channel.
+* **Composes with crash recovery.** Retransmission timers check the
+  :class:`~repro.pubsub.recovery.RecoveryCoordinator`'s down set before
+  firing (retries never fight a repair round), and a crashed broker's
+  unacked window is surfaced to the crash-risk marking through the same
+  reclaim call the coordinator already performs.
+
+Accounting: the delivery checker runs in *reconciling* mode under
+reliability (see :meth:`~repro.metrics.delivery.DeliveryChecker.
+enable_reliability`) — drops of tracked reliable messages are marked
+recoverable instead of lost, and at end of run
+``missing = expected − delivered_unique − lost − crash_lost − shed``
+must still be exactly zero, which the conformance fuzzer's reliability
+lane asserts over seeded loss scenarios.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional, TYPE_CHECKING
+
+from repro.pubsub import messages as m
+from repro.pubsub.events import Notification
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.pubsub.client import Client
+    from repro.pubsub.system import PubSubSystem
+
+__all__ = ["ReliabilityManager", "CircuitBreaker"]
+
+#: retransmission timer base / cap (model ms). One wireless round trip is
+#: 40 ms; the base leaves room for ack coalescing and uplink queueing.
+RTO_BASE_MS = 160.0
+RTO_MAX_MS = 5000.0
+#: the client coalesces acks: at most one per link per this window
+ACK_DELAY_MS = 5.0
+#: consecutive retry exhaustions before a link's breaker trips
+BREAKER_THRESHOLD = 3
+#: how long a tripped breaker stays open before allowing half-open probes
+BREAKER_COOLOFF_MS = 5000.0
+
+
+class CircuitBreaker:
+    """Per-(broker, client) link breaker: closed -> open -> half-open.
+
+    Trips after ``threshold`` *consecutive* retry exhaustions; while open
+    every new send is shed immediately (bounded damage instead of futile
+    retransmit storms). After ``cooloff_ms`` the next send is let through
+    as a half-open probe: an acked probe closes the breaker, an exhausted
+    one reopens it. All transitions happen lazily inside event-ordered
+    calls, so the state machine is deterministic and replayable.
+    """
+
+    __slots__ = ("threshold", "cooloff_ms", "state", "failures",
+                 "open_until", "probe_inflight", "trips")
+
+    def __init__(
+        self,
+        threshold: int = BREAKER_THRESHOLD,
+        cooloff_ms: float = BREAKER_COOLOFF_MS,
+    ) -> None:
+        self.threshold = threshold
+        self.cooloff_ms = cooloff_ms
+        self.state = "closed"
+        self.failures = 0
+        self.open_until = 0.0
+        self.probe_inflight = False
+        self.trips = 0
+
+    def allows(self, now: float) -> bool:
+        """May a new reliable send start on this link right now?"""
+        if self.state == "closed":
+            return True
+        if self.state == "open":
+            if now < self.open_until:
+                return False
+            self.state = "half_open"
+            self.probe_inflight = False
+            return True
+        return not self.probe_inflight  # half_open: one probe at a time
+
+    def on_probe_sent(self) -> None:
+        if self.state == "half_open":
+            self.probe_inflight = True
+
+    def on_progress(self) -> None:
+        """Any cumulative-ack progress on the link."""
+        self.failures = 0
+        if self.state != "closed":
+            self.state = "closed"
+            self.probe_inflight = False
+
+    def on_exhaust(self, now: float) -> bool:
+        """A retry budget ran dry on this link; returns True if it tripped."""
+        self.failures += 1
+        if self.state == "half_open" or (
+            self.state == "closed" and self.failures >= self.threshold
+        ):
+            self.state = "open"
+            self.open_until = now + self.cooloff_ms
+            self.probe_inflight = False
+            self.trips += 1
+            return True
+        return False
+
+    def on_link_retired(self) -> None:
+        """The link's transmit state was reclaimed (detach); a half-open
+        probe that will never be acked must not wedge the breaker."""
+        self.probe_inflight = False
+
+
+class _LinkTx:
+    """Broker-side transmit state for one (broker, client) link session."""
+
+    __slots__ = ("broker", "client", "session", "next_seq", "unacked",
+                 "attempts", "timer_epoch", "nack_retx", "probe")
+
+    def __init__(self, broker: int, client: int, session: int) -> None:
+        self.broker = broker
+        self.client = client
+        self.session = session
+        self.next_seq = 0
+        #: rel_seq -> ReliableDeliver, in send (== seq) order
+        self.unacked: "OrderedDict[int, m.ReliableDeliver]" = OrderedDict()
+        #: consecutive timeouts for the current oldest unacked message
+        self.attempts = 0
+        #: bumped to invalidate armed timers (cheap driver-agnostic cancel)
+        self.timer_epoch = 0
+        #: seqs already fast-retransmitted once off a NACK this session
+        self.nack_retx: set[int] = set()
+        #: True while this link carries a breaker half-open probe
+        self.probe = False
+
+
+class _RxState:
+    """Client-side receive state for one (client, origin-broker) pair."""
+
+    __slots__ = ("session", "expected", "buffer", "ack_pending")
+
+    def __init__(self, session: int) -> None:
+        self.session = session
+        #: next in-order rel_seq to hand to the application
+        self.expected = 0
+        #: out-of-order events held back until the gap below them fills
+        self.buffer: dict[int, Notification] = {}
+        self.ack_pending = False
+
+
+class ReliabilityManager:
+    """The reliability layer: one instance per system, built only when
+    ``reliable=True`` (default-off runs never construct it)."""
+
+    def __init__(
+        self,
+        system: "PubSubSystem",
+        retry_budget: int = 8,
+        rto_base_ms: float = RTO_BASE_MS,
+        rto_max_ms: float = RTO_MAX_MS,
+        ack_delay_ms: float = ACK_DELAY_MS,
+        breaker_threshold: int = BREAKER_THRESHOLD,
+        breaker_cooloff_ms: float = BREAKER_COOLOFF_MS,
+    ) -> None:
+        self.system = system
+        self.retry_budget = retry_budget
+        self.rto_base_ms = rto_base_ms
+        self.rto_max_ms = rto_max_ms
+        self.ack_delay_ms = ack_delay_ms
+        #: seeded jitter stream: same seed => same retry schedule, under
+        #: every driver (draws happen in event-execution order)
+        self._rng = system.streams.stream("reliability/backoff")
+        self._links: dict[tuple[int, int], _LinkTx] = {}
+        self._links_by_client: dict[int, dict[int, _LinkTx]] = {}
+        self._rx: dict[tuple[int, int], _RxState] = {}
+        self._breakers: dict[tuple[int, int], CircuitBreaker] = {}
+        self._breaker_threshold = breaker_threshold
+        self._breaker_cooloff_ms = breaker_cooloff_ms
+        #: monotone session allocator (per-link monotonicity follows)
+        self._next_session = 0
+        #: (time_ms, broker, client, rel_seq, attempt, kind) per retransmit
+        #: — the backoff-determinism property tests compare this log across
+        #: drivers; "kind" is "timeout" or "nack"
+        self.retry_log: list[tuple[float, int, int, int, int, str]] = []
+
+    # ------------------------------------------------------------------
+    # broker-side transmit path
+    # ------------------------------------------------------------------
+    def send(self, broker_id: int, client_id: int, event: Notification) -> None:
+        """Send one event reliably on the (broker, client) link."""
+        key = (broker_id, client_id)
+        breaker = self._breakers.get(key)
+        now = self.system.clock.now
+        if breaker is not None and not breaker.allows(now):
+            # open breaker: shed immediately — an explicit, reconciled
+            # write-off instead of an unbounded futile retransmit queue
+            self.system.metrics.traffic.account_shed("breaker", client_id)
+            self.system.metrics.delivery.mark_shed(client_id, event)
+            return
+        link = self._links.get(key)
+        if link is None:
+            link = _LinkTx(broker_id, client_id, self._next_session)
+            self._next_session += 1
+            self._links[key] = link
+            self._links_by_client.setdefault(client_id, {})[broker_id] = link
+        msg = m.ReliableDeliver(
+            client_id, event, broker_id, link.session, link.next_seq
+        )
+        link.next_seq += 1
+        was_empty = not link.unacked
+        link.unacked[msg.rel_seq] = msg
+        if breaker is not None and breaker.state == "half_open":
+            breaker.on_probe_sent()
+            link.probe = True
+        self.system.net.send_client(client_id, msg)
+        if was_empty:
+            link.attempts = 0
+            self._arm_timer(link)
+
+    def is_tracked(self, msg: object) -> bool:
+        """Is ``msg`` a reliable delivery the layer will still retry?
+
+        The fault injector's drop hook uses this to decide between a
+        recoverable-drop mark (retry pending) and an explicit loss.
+        """
+        if type(msg) is not m.ReliableDeliver:
+            return False
+        link = self._links.get((msg.origin, msg.client))
+        return (
+            link is not None
+            and link.session == msg.session
+            and msg.rel_seq in link.unacked
+        )
+
+    # -- retransmission timer -------------------------------------------
+    def _arm_timer(self, link: _LinkTx) -> None:
+        link.timer_epoch += 1
+        backoff = min(
+            self.rto_max_ms, self.rto_base_ms * (2.0 ** link.attempts)
+        )
+        # seeded jitter (+/-20%) de-synchronises links that timed out in
+        # the same instant, deterministically
+        backoff *= 0.8 + 0.4 * float(self._rng.random())
+        # allow for the serial channel's queueing delay: a 60-message
+        # backlog drain takes 1.2 s of air time before the ack can even be
+        # generated — without this allowance every drain would look like a
+        # timeout and retransmit-storm itself
+        net = self.system.net
+        allowance = (
+            (net.downlink_backlog(link.client) + 2) * net.wireless_latency
+            + self.ack_delay_ms
+        )
+        self.system.clock.call_later(
+            backoff + allowance, self._on_timeout, link, link.timer_epoch
+        )
+
+    def _on_timeout(self, link: _LinkTx, epoch: int) -> None:
+        if epoch != link.timer_epoch or not link.unacked:
+            return  # cancelled (ack progress / reclaim) or fully acked
+        rec = self.system.recovery
+        if rec is not None and rec.is_down(link.broker):
+            # the owning broker died; the crash path reclaims and marks
+            # this window — retries must never fight the coordinator
+            return
+        if link.attempts >= self.retry_budget:
+            self._exhaust(link)
+            return
+        link.attempts += 1
+        seq, msg = next(iter(link.unacked.items()))
+        self.retry_log.append(
+            (self.system.clock.now, link.broker, link.client, seq,
+             link.attempts, "timeout")
+        )
+        self.system.metrics.traffic.account_retransmit(
+            link.client, "timeout"
+        )
+        self.system.net.send_client(link.client, msg)
+        self._arm_timer(link)
+
+    def _exhaust(self, link: _LinkTx) -> None:
+        """Retry budget ran dry: write the window off and consult the breaker."""
+        now = self.system.clock.now
+        metrics = self.system.metrics
+        breaker = self._breakers.get((link.broker, link.client))
+        if breaker is None:
+            breaker = CircuitBreaker(
+                self._breaker_threshold, self._breaker_cooloff_ms
+            )
+            self._breakers[(link.broker, link.client)] = breaker
+        for msg in link.unacked.values():
+            metrics.traffic.account_shed("retry_exhausted", link.client)
+            metrics.delivery.mark_shed(link.client, msg.event)
+        if breaker.on_exhaust(now):
+            metrics.traffic.account_breaker_trip(link.broker, link.client)
+        self._retire(link)
+
+    # -- acks ------------------------------------------------------------
+    def on_ack(self, broker_id: int, msg: m.AckMessage) -> None:
+        """Broker dispatch hook for client acks."""
+        link = self._links.get((broker_id, msg.client))
+        if link is None or link.session != msg.session:
+            return  # stale session: the window was reclaimed or rebuilt
+        progress = False
+        while link.unacked:
+            seq = next(iter(link.unacked))
+            if seq > msg.cum_ack:
+                break
+            del link.unacked[seq]
+            link.nack_retx.discard(seq)
+            progress = True
+        if progress:
+            link.attempts = 0
+            breaker = self._breakers.get((broker_id, msg.client))
+            if breaker is not None:
+                breaker.on_progress()
+            link.probe = False
+        for seq in msg.nacks:
+            nmsg = link.unacked.get(seq)
+            if nmsg is None or seq in link.nack_retx:
+                continue  # unknown or already fast-retransmitted once
+            link.nack_retx.add(seq)
+            self.retry_log.append(
+                (self.system.clock.now, link.broker, link.client, seq,
+                 link.attempts, "nack")
+            )
+            self.system.metrics.traffic.account_retransmit(
+                link.client, "nack"
+            )
+            self.system.net.send_client(link.client, nmsg)
+        if link.unacked:
+            if progress:
+                self._arm_timer(link)  # restart the clock for the new head
+        else:
+            link.timer_epoch += 1  # cancel: nothing left to guard
+
+    # ------------------------------------------------------------------
+    # client-side receive path
+    # ------------------------------------------------------------------
+    def on_deliver(self, client: "Client", msg: m.ReliableDeliver) -> None:
+        key = (msg.client, msg.origin)
+        st = self._rx.get(key)
+        if st is None or msg.session > st.session:
+            # a new session supersedes the old one; buffered stragglers of
+            # the old session are discarded — they were unacked at reclaim
+            # time, so the protocol redelivers them under the new session
+            st = _RxState(msg.session)
+            self._rx[key] = st
+        elif msg.session < st.session:
+            # unreachable over one serial FIFO channel (sessions arrive
+            # monotonically); discard defensively — an unacked straggler
+            # is redelivered by the protocol, an acked one was already
+            # handed to the application
+            return
+        if msg.rel_seq < st.expected:
+            # retransmit of an already-handed-off event (lost ack): count
+            # the duplicate and re-ack so the broker stops
+            client._deliver_event(msg.event)
+            self._schedule_ack(client, msg.origin, st)
+            return
+        if msg.rel_seq == st.expected:
+            client._deliver_event(msg.event)
+            st.expected += 1
+            while st.expected in st.buffer:
+                client._deliver_event(st.buffer.pop(st.expected))
+                st.expected += 1
+        else:
+            st.buffer[msg.rel_seq] = msg.event
+        self._schedule_ack(client, msg.origin, st)
+
+    def _schedule_ack(
+        self, client: "Client", origin: int, st: _RxState
+    ) -> None:
+        # only an attached client can transmit (station association); a
+        # detached client's window is reclaimed broker-side anyway
+        if not (client.connected and client.current_broker == origin):
+            return
+        if st.ack_pending:
+            return
+        st.ack_pending = True
+        self.system.clock.call_later_fifo(
+            self.ack_delay_ms, self._fire_ack, client, origin, st
+        )
+
+    def _fire_ack(self, client: "Client", origin: int, st: _RxState) -> None:
+        st.ack_pending = False
+        if self._rx.get((client.id, origin)) is not st:
+            return  # session superseded while the ack was coalescing
+        if not (client.connected and client.current_broker == origin):
+            return
+        nacks: tuple[int, ...] = ()
+        if st.buffer:
+            top = max(st.buffer)
+            nacks = tuple(
+                s for s in range(st.expected, top) if s not in st.buffer
+            )
+        self.system.net.send_uplink(
+            client.id, origin,
+            m.AckMessage(client.id, origin, st.session, st.expected - 1, nacks),
+        )
+
+    # ------------------------------------------------------------------
+    # detach / reclaim composition
+    # ------------------------------------------------------------------
+    def reclaim_link(
+        self, client_id: int, queued: list, in_service: object
+    ) -> list:
+        """Fold the client's unacked windows into a downlink reclaim.
+
+        Called by :meth:`LinkLayer.cancel_downlink_pending`: ``queued`` is
+        the raw channel queue (whose reliable entries are the same objects
+        as the unacked window's). Returns the full undelivered backlog in
+        send order — transmitted-and-dropped messages included, which is
+        exactly what makes protocol requeue-and-redeliver recover losses.
+        The in-service message is returned too: it will complete on the
+        air, but a gap below it would make the client hold it back, so the
+        protocol must own a copy (the client dedups the overlap).
+        """
+        links = self._links_by_client.pop(client_id, None)
+        if not links:
+            return queued
+        out: list = []
+        seen: set[int] = set()
+        for bid in sorted(links):
+            link = links[bid]
+            for msg in link.unacked.values():
+                if id(msg) not in seen:
+                    seen.add(id(msg))
+                    out.append(msg)
+            self._retire(link, drop_index=False)
+        for msg in queued:
+            if id(msg) not in seen:  # untracked payloads pass through
+                seen.add(id(msg))
+                out.append(msg)
+        return out
+
+    def on_client_detach(self, client_id: int) -> None:
+        """Safety net for protocol paths that skip the downlink reclaim.
+
+        Any link state left after the protocol's disconnect handling is
+        requeued directly onto the raw channel (no fate draw — these
+        frames were already sent once), preserving send order, so the
+        backlog drains to the client exactly as unreclaimed plain
+        deliveries always have. Clears all timers either way.
+        """
+        links = self._links_by_client.get(client_id)
+        if not links:
+            return
+        leftovers = self.system.net.requeue_downlink_unacked(client_id)
+        for msg in leftovers:
+            self.system.metrics.traffic.account_retransmit(
+                client_id, "requeue"
+            )
+
+    def _retire(self, link: _LinkTx, drop_index: bool = True) -> None:
+        link.timer_epoch += 1
+        link.unacked.clear()
+        breaker = self._breakers.get((link.broker, link.client))
+        if breaker is not None and link.probe:
+            breaker.on_link_retired()
+        link.probe = False
+        if drop_index:
+            self._links.pop((link.broker, link.client), None)
+            per_client = self._links_by_client.get(link.client)
+            if per_client is not None:
+                per_client.pop(link.broker, None)
+                if not per_client:
+                    del self._links_by_client[link.client]
+        else:
+            self._links.pop((link.broker, link.client), None)
+
+    # exposed for the link layer's requeue helper
+    def retire_link(self, link: _LinkTx) -> None:
+        """Retire one link whose per-client index entry was already popped
+        (the link layer's detach safety net)."""
+        self._retire(link, drop_index=False)
+
+    def pop_links_for_client(self, client_id: int) -> list[_LinkTx]:
+        links = self._links_by_client.pop(client_id, None)
+        if not links:
+            return []
+        out = []
+        for bid in sorted(links):
+            out.append(links[bid])
+        return out
+
+    def breaker_for(self, broker_id: int, client_id: int) -> CircuitBreaker:
+        """The (created-on-demand) breaker of one link — test/diagnostic."""
+        key = (broker_id, client_id)
+        breaker = self._breakers.get(key)
+        if breaker is None:
+            breaker = CircuitBreaker(
+                self._breaker_threshold, self._breaker_cooloff_ms
+            )
+            self._breakers[key] = breaker
+        return breaker

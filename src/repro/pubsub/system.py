@@ -88,9 +88,21 @@ class PubSubSystem:
         faults: Optional[FaultProfile] = None,
         crashes: Optional["CrashPlan"] = None,
         driver: DriverSpec = None,
+        reliable: bool = False,
+        retry_budget: int = 8,
+        queue_cap: Optional[int] = None,
     ) -> None:
         if grid_k <= 0 and topology is None:
             raise ConfigurationError(f"grid_k must be >= 1, got {grid_k}")
+        if retry_budget < 1:
+            raise ConfigurationError(
+                f"retry_budget must be >= 1, got {retry_budget}"
+            )
+        if queue_cap is not None and queue_cap < 1:
+            raise ConfigurationError(
+                f"queue_cap must be >= 1 (or None for unbounded), "
+                f"got {queue_cap}"
+            )
         if migration_batch_size <= 0:
             raise ConfigurationError(
                 f"migration_batch_size must be >= 1, got {migration_batch_size}"
@@ -176,10 +188,20 @@ class PubSubSystem:
             def _droppable(payload: object) -> bool:
                 # only final event deliveries ride the unreliable path;
                 # control traffic uses the link-layer ARQ (see
-                # repro.network.faults)
-                return type(payload) is DeliverMessage
+                # repro.network.faults). isinstance: ReliableDeliver frames
+                # are final deliveries too and must face the same channel.
+                return isinstance(payload, DeliverMessage)
 
             def _on_drop(payload: "DeliverMessage") -> None:
+                rel = self.reliability
+                if rel is not None and rel.is_tracked(payload):
+                    # the retransmit window still covers this frame: a
+                    # recoverable drop, reconciled at end of run instead
+                    # of an immediate loss write-off
+                    self.metrics.on_recoverable_drop(
+                        payload.client, payload.event
+                    )
+                    return
                 self.metrics.on_loss(payload.client, payload.event)
 
             self.fault_injector = LinkFaultInjector(
@@ -189,6 +211,30 @@ class PubSubSystem:
                 on_drop=_on_drop,
             )
             self.fault_injector.account_fault = self.metrics.traffic.account_fault
+
+        #: end-to-end reliability layer (None = the paper's best-effort
+        #: downlink, the default; built below only when reliable=True so
+        #: default-off runs construct nothing and draw nothing)
+        self.reliability = None
+        self.queue_cap = queue_cap
+
+        _on_shed = None
+        if queue_cap is not None:
+            from repro.pubsub.messages import DeliverMessage as _Deliver
+
+            def _on_shed(payload: object, client_id: int) -> bool:
+                # bulkhead policy: shed data (final deliveries), never
+                # control — control messages are admitted over-cap
+                if not isinstance(payload, _Deliver):
+                    return False
+                self.metrics.traffic.account_shed("queue_cap", client_id)
+                rel = self.reliability
+                if rel is not None and rel.is_tracked(payload):
+                    # retry-covered: the retransmission timer redelivers
+                    # (or eventually writes the window off); ledger only
+                    return True
+                self.metrics.delivery.mark_shed(client_id, payload.event)
+                return True
 
         #: sans-IO Transport facade the kernel sends through (under the
         #: simulated driver this is the modelled LinkLayer; the live
@@ -203,9 +249,24 @@ class PubSubSystem:
                 self.tree.distance if unicast_routing == "tree" else None
             ),
             faults=self.fault_injector,
+            queue_cap=queue_cap,
+            on_shed=_on_shed,
         )
         #: legacy alias for the transport (pre-driver call sites/tests)
         self.links = self.net
+
+        if reliable:
+            from repro.pubsub.reliability import ReliabilityManager
+
+            self.reliability = ReliabilityManager(
+                self, retry_budget=retry_budget
+            )
+            self.net.reliability = self.reliability
+            self.metrics.delivery.enable_reliability()
+        elif queue_cap is not None:
+            # capped-but-unreliable runs still write sheds off explicitly;
+            # the checker needs pair tracking to reconcile them
+            self.metrics.delivery.enable_reliability()
 
         self.brokers: dict[int, Broker] = {}
         for bid in range(self.topology.n):

@@ -205,3 +205,83 @@ def test_cli_replays_single_scenario(tmp_path, capsys):
     parsed = json.loads(out.read_text())
     assert parsed["passed"] is True
     assert parsed["scenarios"][0]["seed"] == seed
+
+
+# ---------------------------------------------------------------------------
+# reliability lane
+# ---------------------------------------------------------------------------
+def test_reliability_lane_is_deterministic_and_forces_loss():
+    for seed in (1, 99, 12345):
+        a = Scenario.reliability_from_seed(seed)
+        assert a == Scenario.reliability_from_seed(seed)
+        assert a.reliable
+        assert a.faults.deliver_loss in (0.05, 0.1, 0.2)
+        assert not a.crashes.active
+        # the lane layers on top of the base scenario without perturbing
+        # its draw order: everything but the fault/reliability knobs is
+        # the plain-lane scenario, byte for byte
+        base = Scenario.from_seed(seed)
+        assert dataclasses.replace(
+            a, faults=base.faults, reliable=False, retry_budget=8,
+            queue_cap=None,
+        ) == base
+
+
+def test_reliability_lane_composes_with_the_crash_lane():
+    s = Scenario.reliability_from_seed(7, "mhh", crash=True)
+    assert s.reliable
+    assert s.protocol == "mhh"
+    assert s.crashes.active
+    # unlike the plain crash lane, links stay lossy: the only permitted
+    # write-offs are crash_lost and shed, which check_invariants asserts
+    assert s.faults.active
+
+
+def rel_scenario(protocol="mhh", **kw):
+    return Scenario.reliability_from_seed(5, protocol, **kw)
+
+
+def test_reliable_run_must_recover_every_link_loss():
+    v = check_invariants(
+        rel_scenario(), outcome(lost=2, injected_drops=2, meter_drops=2)
+    )
+    assert any("must recover" in x for x in v)
+    clean = outcome(injected_drops=2, meter_drops=2, recovered=2)
+    assert check_invariants(rel_scenario(), clean) == []
+
+
+def test_reliability_decouples_the_duplicate_count():
+    # retransmits add duplicates the injector never made (and reassembly
+    # may absorb injected copies): neither direction is a violation
+    extra = outcome(duplicates=5, injected_dups=2, meter_dups=2)
+    fewer = outcome(duplicates=1, injected_dups=2, meter_dups=2)
+    assert check_invariants(rel_scenario(), extra) == []
+    assert check_invariants(rel_scenario(), fewer) == []
+
+
+def test_phantom_recoveries_flagged():
+    v = check_invariants(rel_scenario(), outcome(recovered=3))
+    assert any("recoveries without matching drops" in x for x in v)
+
+
+def test_shed_without_cap_or_crash_flagged():
+    scenario = rel_scenario()
+    assert scenario.queue_cap is None  # seed 5 draws no cap
+    v = check_invariants(scenario, outcome(shed=1))
+    assert any("shed policy" in x for x in v)
+    capped = dataclasses.replace(scenario, queue_cap=32)
+    assert check_invariants(capped, outcome(shed=1)) == []
+
+
+def test_reliability_machinery_must_stay_dark_when_off():
+    v = check_invariants(scenario_for("mhh"), outcome(retransmits=4))
+    assert any("machinery fired" in x for x in v)
+
+
+def test_reliability_lane_replay_command_carries_the_flags():
+    r = ScenarioResult(9, "mhh", "seed=9", [], reliability_lane=True,
+                       forced_protocol="mhh")
+    assert r.replay_command() == (
+        "python -m repro.conformance.fuzzer --scenario-seed 9 "
+        "--reliability-lane --protocol mhh"
+    )

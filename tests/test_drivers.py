@@ -207,6 +207,7 @@ def test_broker_dispatch_table_covers_exactly_the_core_types():
         m.SubscribeMessage,
         m.UnsubscribeMessage,
         m.ConnectMessage,
+        m.AckMessage,
     }
 
 

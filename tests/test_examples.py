@@ -18,6 +18,7 @@ EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
         "frequent_mobility.py",
         "protocol_comparison.py",
         "lossy_hotspot.py",
+        "reliable_lossy.py",
     ],
 )
 def test_example_runs_clean(script):

@@ -45,6 +45,17 @@ def test_frozen_queue_rejects_append(q):
     assert [e.event_id for e in q.drain()] == [1]
 
 
+def test_frozen_queue_rejects_extend_front(q):
+    """A frozen (migrating) queue must refuse requeues at the head just
+    like appends at the tail — a reclaimed downlink window that raced a
+    migration would otherwise be silently dropped by the handover."""
+    q.append(ev(1))
+    q.freeze()
+    with pytest.raises(RuntimeError):
+        q.extend_front([ev(2)])
+    assert [e.event_id for e in q.drain()] == [1]
+
+
 def test_bool_and_len(q):
     assert not q
     q.append(ev(1))
