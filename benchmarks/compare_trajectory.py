@@ -12,6 +12,10 @@ merely uploaded:
   (lanes/heap, counting/scan, incremental/rebuild, indexed/scan). A fresh
   ratio below ``tolerance x baseline`` fails: the optimisation a past PR
   paid for has regressed.
+* **overhead ratios** (``*_overhead``) — opt-in layers (reliability over
+  baseline, durability over reliable) are gated at an *absolute* cap
+  (default 1.25x): the layer must stay cheap regardless of what the
+  baseline machine looked like.
 * **absolute throughputs/wall times** — reported with deltas for the PR
   log but not gated by default (CI machines vary too much); ``--strict``
   gates ``*_per_s`` metrics at the same tolerance.
@@ -33,12 +37,20 @@ from pathlib import Path
 #: counters/parameters carried for context, never gated or delta-reported
 _CONTEXT_KEYS = ("_n_filters", "_in_flight", "_runs", "_sim_events")
 
+#: per-key absolute ceilings for *_overhead ratios; keys not pinned here
+#: use the --overhead-cap default. The ACK/retransmit layer does real
+#: protocol work under 10% injected loss (acks, timer wheel, retransmits),
+#: so its ceiling only catches blowups; the WAL rides inside that machinery
+#: and must stay cheap.
+_OVERHEAD_CAPS = {"reliability_overhead": 1.6}
+
 
 def _is_context(key: str) -> bool:
     return any(key.endswith(suffix) for suffix in _CONTEXT_KEYS)
 
 
-def compare(baseline: dict, fresh: dict, tolerance: float, strict: bool):
+def compare(baseline: dict, fresh: dict, tolerance: float, strict: bool,
+            overhead_cap: float = 1.25):
     """Return (report_lines, failures) for two snapshot dicts."""
     lines: list[str] = []
     failures: list[str] = []
@@ -65,13 +77,19 @@ def compare(baseline: dict, fresh: dict, tolerance: float, strict: bool):
             continue
         b, f = base_m[key], fresh_m[key]
         ratio = f / b if b else float("inf")
-        gated = key.endswith("_speedup") or (
+        gated = key.endswith(("_speedup", "_overhead")) or (
             strict and key.endswith("_per_s")
         )
         # wall times regress by going *up*; everything else by going down
         if key.endswith("_wall_s"):
             ok = (not gated) or ratio <= 1.0 / tolerance
             direction = f"{ratio:5.2f}x slower" if ratio > 1 else f"{1 / ratio:5.2f}x faster"
+        elif key.endswith("_overhead"):
+            # opt-in layer cost: gated against an absolute ceiling, not the
+            # baseline machine — the layer itself must stay cheap
+            cap = _OVERHEAD_CAPS.get(key, overhead_cap)
+            ok = (not gated) or f <= cap
+            direction = f"cap {cap:.2f}x"
         else:
             ok = (not gated) or ratio >= tolerance
             direction = f"{ratio:5.2f}x"
@@ -81,10 +99,17 @@ def compare(baseline: dict, fresh: dict, tolerance: float, strict: bool):
             f"{marker} [{gate}] {key:45s} {b:14.2f} -> {f:14.2f}  ({direction})"
         )
         if not ok:
-            failures.append(
-                f"{key} regressed beyond tolerance {tolerance}: "
-                f"baseline {b:.2f} -> fresh {f:.2f}"
-            )
+            if key.endswith("_overhead"):
+                failures.append(
+                    f"{key} exceeds the absolute cap "
+                    f"{_OVERHEAD_CAPS.get(key, overhead_cap)}: "
+                    f"fresh {f:.2f} (baseline {b:.2f})"
+                )
+            else:
+                failures.append(
+                    f"{key} regressed beyond tolerance {tolerance}: "
+                    f"baseline {b:.2f} -> fresh {f:.2f}"
+                )
     return lines, failures
 
 
@@ -103,11 +128,16 @@ def main(argv=None) -> int:
                              "the tight lines)")
     parser.add_argument("--strict", action="store_true",
                         help="also gate absolute *_per_s throughputs")
+    parser.add_argument("--overhead-cap", type=float, default=1.25,
+                        help="absolute ceiling for *_overhead ratios "
+                             "(default 1.25 — an opt-in layer may cost at "
+                             "most a quarter of the run it wraps)")
     args = parser.parse_args(argv)
 
     baseline = json.loads(Path(args.baseline).read_text())
     fresh = json.loads(Path(args.fresh).read_text())
-    lines, failures = compare(baseline, fresh, args.tolerance, args.strict)
+    lines, failures = compare(baseline, fresh, args.tolerance, args.strict,
+                              args.overhead_cap)
 
     print(f"perf trajectory diff: {args.baseline} (commit "
           f"{baseline.get('commit', '?')}) vs {args.fresh} "

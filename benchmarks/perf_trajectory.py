@@ -16,6 +16,9 @@ PRs rather than anecdotes:
 * **reliability** — wall-time overhead of the end-to-end ACK/retransmit
   layer on a lossy churn run, off vs on at the same seed
   (:mod:`repro.pubsub.reliability`);
+* **durability** — wall-time overhead of the write-ahead log + persistent
+  sessions over the reliable baseline at the same seed
+  (:mod:`repro.pubsub.wal`);
 * **fig5a** — the full Figure 5 sweep wall time at the chosen scale (the
   end-to-end number everything else serves).
 
@@ -125,20 +128,45 @@ def collect(scale: str) -> dict:
     # churn run, same seed off vs on. Default-off must stay free (it
     # constructs nothing), so the overhead ratio is the price of turning
     # the layer on — timer traffic, acks, retransmits — not of having it.
+    # 600 simulated seconds: the overhead ratios are gated at an absolute
+    # cap, and sub-0.2s wall times put the scheduler-noise floor inside
+    # the gate's tolerance — a longer run amortizes it away
     rel_cfg = ExperimentConfig(
         protocol="mhh", grid_k=3, seed=1,
         workload=WorkloadSpec(
             clients_per_broker=4, mobile_fraction=0.5,
             mean_connected_s=10.0, mean_disconnected_s=5.0,
-            publish_interval_s=10.0, duration_s=180.0,
+            publish_interval_s=10.0, duration_s=600.0,
         ),
         faults=FaultProfile(deliver_loss=0.1),
     )
-    t_off = _best_of(3, run_experiment, rel_cfg)
-    t_on = _best_of(3, run_experiment, replace(rel_cfg, reliable=True))
+    # the overhead ratios are gated at an absolute cap, so the noise floor
+    # matters more than for the info-only wall times: interleave the three
+    # variants round-robin (sequential blocks let CPU warm-up drift land
+    # entirely on one variant) and take best-of-7 rounds each.
+    # durability = the WAL + persistent sessions on top of the same
+    # reliable run; its ratio vs the reliable baseline is the price of
+    # append-before-send logging and checkpoint/compaction (the sim
+    # driver's in-memory store — the fsync cost of the live file store is
+    # I/O-bound and belongs to a soak, not a trajectory snapshot).
+    variants = [
+        rel_cfg,
+        replace(rel_cfg, reliable=True),
+        replace(rel_cfg, reliable=True, durable=True),
+    ]
+    run_experiment(variants[-1])  # warm caches outside timing
+    best = [float("inf")] * len(variants)
+    for _ in range(7):
+        for i, c in enumerate(variants):
+            t0 = time.perf_counter()
+            run_experiment(c)
+            best[i] = min(best[i], time.perf_counter() - t0)
+    t_off, t_on, t_dur = best
     metrics["reliability_off_wall_s"] = t_off
     metrics["reliability_on_wall_s"] = t_on
     metrics["reliability_overhead"] = t_on / t_off
+    metrics["durability_on_wall_s"] = t_dur
+    metrics["durability_overhead"] = t_dur / t_on
 
     # end to end: the Figure 5 sweep at the requested scale
     t0 = time.perf_counter()
@@ -197,6 +225,8 @@ def main(argv: list[str] | None = None) -> int:
     print(f"  reliable   off {m['reliability_off_wall_s']:.2f}s"
           f"  on {m['reliability_on_wall_s']:.2f}s"
           f"  ({m['reliability_overhead']:.2f}x overhead)")
+    print(f"  durable    on {m['durability_on_wall_s']:.2f}s"
+          f"  ({m['durability_overhead']:.2f}x over reliable)")
     print(f"  fig5 sweep {m['fig5a_wall_s']:.2f}s wall,"
           f" {m['fig5a_sim_events']:.0f} sim events"
           f" ({m['fig5a_sim_events_per_s'] / 1e3:.0f}k ev/s)")

@@ -50,6 +50,15 @@ loss profile and the only permitted write-offs are ``crash_lost`` and
 ``shed``; ``lost`` stays exactly zero. Protocols cycle through the
 reliable trio, so a 30-scenario batch covers each at least ten times.
 
+**Durability lane** (``--durability-lane``): the reliability lane's
+crash-composed scenarios run again with the write-ahead log and session
+handover enabled. The matrix hardens to the zero-write-off contract:
+``crash_lost == 0`` and ``shed == 0`` on top of ``missing == 0`` and
+``lost == 0`` — every delivery put at risk by a broker crash, restart or
+partition must be recovered from the log (replay on restart, handover to
+the new home broker on permanent death), never reconciled away. The
+durable retry path never exhausts, so ``breaker_trips`` stays 0 too.
+
 **Cross-engine identity**: the same scenario re-run with the all-legacy
 engine bundle (heap scheduler × scan matching × covering scans) must
 produce a byte-identical delivery log, identical delivery/loss/duplicate
@@ -118,6 +127,13 @@ class ScenarioOutcome:
     shed: int = 0
     retransmits: int = 0
     breaker_trips: int = 0
+    #: retransmit timers that fired against a link already retired by the
+    #: crash/repair machinery (must stay 0: satellite regression gate)
+    stale_timer_fires: int = 0
+    #: durable sessions handed to a new home broker in repair rounds
+    wal_handovers: int = 0
+    #: WAL checkpoint/compaction passes across all brokers
+    wal_checkpoints: int = 0
     wired_by_category: dict[str, int] = field(default_factory=dict)
     #: (client, event_id, time) per delivery, in delivery order
     delivery_log: tuple[tuple[int, int, float], ...] = ()
@@ -167,6 +183,15 @@ def run_scenario(
         shed=stats.shed,
         retransmits=meter.total_retransmits(),
         breaker_trips=meter.total_breaker_trips(),
+        stale_timer_fires=(
+            system.reliability.stale_timer_fires if system.reliability else 0
+        ),
+        wal_handovers=(
+            system.durability.handovers if system.durability else 0
+        ),
+        wal_checkpoints=(
+            system.durability.checkpoints if system.durability else 0
+        ),
         wired_by_category=dict(meter.by_category()),
         delivery_log=tuple(system.metrics.delivery.log),
     )
@@ -283,6 +308,38 @@ def check_invariants(scenario: Scenario, o: ScenarioOutcome) -> list[str]:
             )
     elif o.crash_lost or o.repairs:
         v.append("crash plan inactive but the recovery machinery fired")
+    if scenario.reliable and o.stale_timer_fires:
+        v.append(
+            f"stale_timer_fires={o.stale_timer_fires}: a retransmit timer "
+            f"fired against a link the crash/repair machinery had already "
+            f"retired (epoch bump missed)"
+        )
+    if scenario.durable:
+        # The zero-write-off contract: with the WAL and session handover
+        # active, machine failures must never cost a delivery. crash_lost
+        # and shed stay exactly 0 (missing == 0 is asserted above, so the
+        # recovered deliveries are real, not reconciled away), and the
+        # durable retry path never opens a breaker.
+        if o.crash_lost != 0:
+            v.append(
+                f"crash_lost={o.crash_lost} != 0: a durable run wrote off "
+                f"deliveries to a broker crash instead of replaying the WAL"
+            )
+        if o.shed != 0:
+            v.append(
+                f"shed={o.shed} != 0: a durable run wrote off deliveries "
+                f"via the shed policy instead of retrying from the log"
+            )
+        if o.breaker_trips != 0:
+            v.append(
+                f"breaker_trips={o.breaker_trips} != 0: durable retry "
+                f"never exhausts, so no circuit breaker should exist"
+            )
+    elif o.wal_handovers or o.wal_checkpoints:
+        v.append(
+            f"durability off but the WAL machinery fired (handovers="
+            f"{o.wal_handovers} checkpoints={o.wal_checkpoints})"
+        )
     if o.published == 0:
         v.append("degenerate scenario: nothing was published")
     return v
@@ -310,6 +367,9 @@ def compare_outcomes(a: ScenarioOutcome, b: ScenarioOutcome) -> list[str]:
         "shed",
         "retransmits",
         "breaker_trips",
+        "stale_timer_fires",
+        "wal_handovers",
+        "wal_checkpoints",
     ):
         av, bv = getattr(a, attr), getattr(b, attr)
         if av != bv:
@@ -350,6 +410,7 @@ class ScenarioResult:
     violations: list[str]
     crash_lane: bool = False
     reliability_lane: bool = False
+    durability_lane: bool = False
     forced_protocol: Optional[str] = None
 
     @property
@@ -362,9 +423,11 @@ class ScenarioResult:
             cmd += " --crash-lane"
         if self.reliability_lane:
             cmd += " --reliability-lane"
-        if (self.crash_lane or self.reliability_lane) and (
-            self.forced_protocol is not None
-        ):
+        if self.durability_lane:
+            cmd += " --durability-lane"
+        if (
+            self.crash_lane or self.reliability_lane or self.durability_lane
+        ) and self.forced_protocol is not None:
             cmd += f" --protocol {self.forced_protocol}"
         return cmd
 
@@ -427,12 +490,14 @@ class ScenarioFuzzer:
         cross_engine: bool = True,
         crash_lane: bool = False,
         reliability_lane: bool = False,
+        durability_lane: bool = False,
     ) -> None:
         self.n_scenarios = n_scenarios
         self.master_seed = master_seed
         self.cross_engine = cross_engine
         self.crash_lane = crash_lane
         self.reliability_lane = reliability_lane
+        self.durability_lane = durability_lane
 
     def scenario_seeds(self) -> list[int]:
         rnd = random.Random(self.master_seed)
@@ -441,7 +506,9 @@ class ScenarioFuzzer:
     def run_one(
         self, scenario_seed: int, protocol: Optional[str] = None
     ) -> ScenarioResult:
-        if self.reliability_lane:
+        if self.durability_lane:
+            scenario = Scenario.durable_from_seed(scenario_seed, protocol)
+        elif self.reliability_lane:
             scenario = Scenario.reliability_from_seed(
                 scenario_seed, protocol, crash=self.crash_lane
             )
@@ -466,6 +533,7 @@ class ScenarioFuzzer:
             violations,
             crash_lane=self.crash_lane,
             reliability_lane=self.reliability_lane,
+            durability_lane=self.durability_lane,
             forced_protocol=protocol,
         )
 
@@ -477,7 +545,7 @@ class ScenarioFuzzer:
             # lanes cycle protocols so coverage is guaranteed, not merely
             # probable, over the whole batch; the reliability lane cycles
             # only the protocols whose contract is loss-free
-            if self.reliability_lane:
+            if self.reliability_lane or self.durability_lane:
                 protocol = _RELIABLE_CYCLE[i % len(_RELIABLE_CYCLE)]
             elif self.crash_lane:
                 protocol = PROTOCOLS[i % len(PROTOCOLS)]
@@ -525,6 +593,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                              "asserts zero losses for reliable protocols. "
                              "Combine with --crash-lane to layer seeded "
                              "broker failures on top")
+    parser.add_argument("--durability-lane", action="store_true",
+                        help="fuzz the durable zero-write-off lane: lossy "
+                             "links + ACK/retransmit + seeded broker "
+                             "failures with the write-ahead log on; asserts "
+                             "missing == lost == crash_lost == shed == 0")
     parser.add_argument("--protocol", choices=PROTOCOLS, default=None,
                         help="force the protocol (crash-lane replays; "
                              "batch runs cycle protocols automatically)")
@@ -539,6 +612,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         cross_engine=not args.no_cross_engine,
         crash_lane=args.crash_lane,
         reliability_lane=args.reliability_lane,
+        durability_lane=args.durability_lane,
     )
     if args.scenario_seed is not None:
         result = fuzzer.run_one(args.scenario_seed, args.protocol)

@@ -77,6 +77,8 @@ class Scenario:
     reliable: bool = False
     retry_budget: int = 8
     queue_cap: Optional[int] = None
+    #: write-ahead log + session handover on (durability lane)
+    durable: bool = False
 
     # ------------------------------------------------------------------
     @classmethod
@@ -250,6 +252,26 @@ class Scenario:
         )
 
     # ------------------------------------------------------------------
+    @classmethod
+    def durable_from_seed(
+        cls,
+        scenario_seed: int,
+        protocol: Optional[str] = None,
+    ) -> "Scenario":
+        """The durability-lane variant: reliable + crashes + WAL.
+
+        Reuses the reliability lane's crash-composed draw (identical fault
+        and budget streams, so a durable failure replays against the same
+        adversarial shape as its reliable sibling) and switches the
+        write-ahead log on. The queue cap is dropped: the zero-write-off
+        contract is about machine failures — bounded-queue shedding is a
+        deliberate overload *policy*, and the durable retry path never
+        creates breakers or sheds in the first place.
+        """
+        base = cls.reliability_from_seed(scenario_seed, protocol, crash=True)
+        return replace(base, durable=True, queue_cap=None)
+
+    # ------------------------------------------------------------------
     def workload(self) -> WorkloadSpec:
         return WorkloadSpec(
             clients_per_broker=self.clients_per_broker,
@@ -283,6 +305,7 @@ class Scenario:
             reliable=self.reliable,
             retry_budget=self.retry_budget,
             queue_cap=self.queue_cap,
+            durable=self.durable,
         )
 
     def label(self) -> str:
@@ -294,6 +317,8 @@ class Scenario:
             rel_tag = f" rel(budget={self.retry_budget})"
         if self.queue_cap is not None:
             rel_tag += f" cap={self.queue_cap}"
+        if self.durable:
+            rel_tag += " dur"
         return (
             f"seed={self.scenario_seed} {self.protocol} k={self.grid_k} "
             f"cpb={self.clients_per_broker} mob={self.mobility_model} "

@@ -168,3 +168,17 @@ class Driver:
         on_shed: Optional[Callable[[Any, int], bool]] = None,
     ) -> Transport:
         raise NotImplementedError
+
+    def build_log_store(self, wal_dir: Optional[str] = None) -> Any:
+        """Stable storage for the durability layer (one LogStore facade).
+
+        Default (simulated time): an in-memory store that models a disk
+        surviving the broker process — unless ``wal_dir`` pins the log to
+        real files. The live driver overrides this to default to a
+        file-backed store, so soaks exercise real torn-tail truncation.
+        """
+        from repro.pubsub.wal import FileLogStore, MemoryLogStore
+
+        if wal_dir is not None:
+            return FileLogStore(wal_dir)
+        return MemoryLogStore()

@@ -36,6 +36,7 @@ from __future__ import annotations
 
 import asyncio
 import heapq
+import tempfile
 import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional, TYPE_CHECKING
@@ -312,6 +313,20 @@ class LiveDriver(Driver):
             on_shed=on_shed,
         )
 
+    def build_log_store(self, wal_dir: Optional[str] = None) -> Any:
+        """Live runs default to real file-backed stable storage.
+
+        Without an explicit ``wal_dir`` the store owns a scratch directory
+        and removes it on close; with one, the directory (and any prior
+        log to recover, torn tails included) belongs to the caller.
+        """
+        from repro.pubsub.wal import FileLogStore
+
+        if wal_dir is not None:
+            return FileLogStore(wal_dir)
+        return FileLogStore(tempfile.mkdtemp(prefix="mhh-wal-"),
+                            owns_dir=True)
+
 
 # ---------------------------------------------------------------------------
 # virtual-time scenario driver (parity tests)
@@ -342,6 +357,8 @@ def run_virtual_scenario(cfg: "ExperimentConfig") -> "PubSubSystem":
         reliable=cfg.reliable,
         retry_budget=cfg.retry_budget,
         queue_cap=cfg.queue_cap,
+        durable=cfg.durable,
+        wal_dir=cfg.wal_dir,
         driver=LiveDriver(clock),
     )
     system.metrics.delivery.record_log = True
@@ -357,6 +374,10 @@ def run_virtual_scenario(cfg: "ExperimentConfig") -> "PubSubSystem":
             "drain deadlock: live clock idle but protocol not quiescent"
         )
     system.metrics.delivery.finalize_crash_accounting()
+    if system.durability is not None and cfg.wal_dir is None:
+        # scratch-backed stable storage: release it once the run is
+        # audited (an explicit wal_dir belongs to the caller and is kept)
+        system.durability.close()
     return system
 
 
@@ -390,6 +411,7 @@ def _soak_violations(
     crash_events: int = 0,
     repairs: int = 0,
     reliable: bool = False,
+    durable: bool = False,
 ) -> list[str]:
     """The conformance fuzzer's invariant matrix, applied to a live run."""
     v: list[str] = []
@@ -399,6 +421,13 @@ def _soak_violations(
         )
     if stats.missing != 0:
         v.append(f"missing={stats.missing} deliveries unaccounted for")
+    if durable:
+        # zero-write-off contract: WAL replay + session handover must
+        # reconcile every crash- or shed-prone delivery
+        if stats.crash_lost != 0:
+            v.append(f"durable run wrote off crash_lost={stats.crash_lost}")
+        if stats.shed != 0:
+            v.append(f"durable run shed {stats.shed} deliveries")
     if reliable:
         # no duplicate bound under reliability: retransmission adds copies
         # the injector never made, while sequence-number reassembly absorbs
@@ -449,6 +478,8 @@ def run_soak(
     reliable: bool = False,
     retry_budget: int = 8,
     queue_cap: Optional[int] = None,
+    durable: bool = False,
+    wal_dir: Optional[str] = None,
 ) -> SoakResult:
     """Run a live churn workload on an asyncio loop and audit delivery.
 
@@ -474,6 +505,8 @@ def run_soak(
             reliable=reliable,
             retry_budget=retry_budget,
             queue_cap=queue_cap,
+            durable=durable,
+            wal_dir=wal_dir,
             driver=LiveDriver(clock),
         )
         spec = WorkloadSpec(
@@ -517,7 +550,10 @@ def run_soak(
         crash_events=len(crashes.events) if crashes is not None else 0,
         repairs=system.recovery.repairs if system.recovery else 0,
         reliable=reliable,
+        durable=durable,
     )
+    if system.durability is not None and wal_dir is None:
+        system.durability.close()
     if not drained:
         violations.insert(
             0,

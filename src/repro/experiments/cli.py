@@ -80,6 +80,8 @@ def _run_soak(args, faults: Optional[FaultProfile]) -> int:
             reliable=args.reliable,
             retry_budget=args.retry_budget,
             queue_cap=args.queue_cap,
+            durable=args.durable,
+            wal_dir=args.wal_dir,
         )
         st = result.stats
         status = "PASS" if result.passed else "FAIL"
@@ -149,6 +151,15 @@ def main(argv: Sequence[str] | None = None) -> int:
                         help="bound each client's downlink queue at N "
                              "messages; beyond it data is shed explicitly, "
                              "control never (default: unbounded)")
+    parser.add_argument("--durable", action="store_true",
+                        help="durable broker state: per-broker write-ahead "
+                             "log replayed on crash recovery + persistent "
+                             "client sessions with repair-round handover "
+                             "(default off = volatile brokers)")
+    parser.add_argument("--wal-dir", default=None, metavar="DIR",
+                        help="directory for file-backed WAL segments (needs "
+                             "--durable; default: the driver's store — "
+                             "in-memory for sweeps, a scratch dir for soaks)")
     parser.add_argument("--mobility", default=None,
                         choices=sorted(MOBILITY_MODELS),
                         help="mobility model for mobile clients "
@@ -230,6 +241,11 @@ def main(argv: Sequence[str] | None = None) -> int:
         parser.error("--retry-budget needs --reliable")
     if args.retry_budget is None:
         args.retry_budget = 8
+    if args.wal_dir is not None and not args.durable:
+        parser.error("--wal-dir needs --durable")
+    if args.wal_dir is not None and args.figure != "soak":
+        parser.error("--wal-dir only applies to soak (figure sweeps run "
+                     "the simulated driver's in-memory store)")
 
     faults = None
     if args.loss or args.dup or args.jitter:
@@ -260,7 +276,7 @@ def main(argv: Sequence[str] | None = None) -> int:
             scale=args.scale, seed=args.seed, workers=args.workers,
             faults=faults, workload_overrides=overrides or None,
             reliable=args.reliable, retry_budget=args.retry_budget,
-            queue_cap=args.queue_cap,
+            queue_cap=args.queue_cap, durable=args.durable,
         )
         if "fig5a" in want:
             out.append(report.format_series(
@@ -279,7 +295,7 @@ def main(argv: Sequence[str] | None = None) -> int:
             scale=args.scale, seed=args.seed, workers=args.workers,
             faults=faults, workload_overrides=overrides or None,
             reliable=args.reliable, retry_budget=args.retry_budget,
-            queue_cap=args.queue_cap,
+            queue_cap=args.queue_cap, durable=args.durable,
         )
         if "fig6a" in want:
             out.append(report.format_series(

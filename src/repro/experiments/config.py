@@ -65,6 +65,13 @@ class ExperimentConfig:
     #: downlink bulkhead: max queued messages per client before the shed
     #: policy runs (None = unbounded, the paper's model)
     queue_cap: Optional[int] = None
+    #: durable broker state: per-broker write-ahead log + persistent
+    #: client sessions with repair-round handover (see repro.pubsub.wal).
+    #: Default off = volatile brokers, byte-identical to the seed.
+    durable: bool = False
+    #: directory for file-backed WAL segments (None = the driver's
+    #: default store: in-memory under simulation, a scratch dir live)
+    wal_dir: Optional[str] = None
 
     def with_workload(self, **changes: Any) -> "ExperimentConfig":
         return replace(self, workload=replace(self.workload, **changes))
@@ -85,6 +92,8 @@ class ExperimentConfig:
             rel_tag = f" rel(budget={self.retry_budget})"
         if self.queue_cap is not None:
             rel_tag += f" cap={self.queue_cap}"
+        if self.durable:
+            rel_tag += " dur"
         return (
             f"{self.protocol} k={self.grid_k} "
             f"conn={self.workload.mean_connected_s:g}s "

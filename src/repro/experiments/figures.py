@@ -100,6 +100,7 @@ def _sweep_conn(
     reliable: bool = False,
     retry_budget: int = 8,
     queue_cap: Optional[int] = None,
+    durable: bool = False,
 ) -> list[ResultRow]:
     preset = SCALES[scale]
     overrides = _checked_overrides(
@@ -116,6 +117,7 @@ def _sweep_conn(
             reliable=reliable,
             retry_budget=retry_budget,
             queue_cap=queue_cap,
+            durable=durable,
             workload=WorkloadSpec(
                 clients_per_broker=preset["clients_per_broker"],
                 mean_connected_s=conn_s,
@@ -141,6 +143,7 @@ def _sweep_size(
     reliable: bool = False,
     retry_budget: int = 8,
     queue_cap: Optional[int] = None,
+    durable: bool = False,
 ) -> list[ResultRow]:
     preset = SCALES[scale]
     overrides = _checked_overrides(
@@ -157,6 +160,7 @@ def _sweep_size(
             reliable=reliable,
             retry_budget=retry_budget,
             queue_cap=queue_cap,
+            durable=durable,
             workload=WorkloadSpec(
                 clients_per_broker=preset["clients_per_broker"],
                 mean_connected_s=300.0,
@@ -185,6 +189,7 @@ def run_fig5(
     reliable: bool = False,
     retry_budget: int = 8,
     queue_cap: Optional[int] = None,
+    durable: bool = False,
 ) -> list[ResultRow]:
     """Both panels of Figure 5 share one sweep; run it once.
 
@@ -198,6 +203,7 @@ def run_fig5(
         scale, protocols, conn_periods_s or CONN_PERIOD_SWEEP_S, seed,
         workers=workers, faults=faults, workload_overrides=workload_overrides,
         reliable=reliable, retry_budget=retry_budget, queue_cap=queue_cap,
+        durable=durable,
     )
 
 
@@ -212,6 +218,7 @@ def run_fig6(
     reliable: bool = False,
     retry_budget: int = 8,
     queue_cap: Optional[int] = None,
+    durable: bool = False,
 ) -> list[ResultRow]:
     """Both panels of Figure 6 share one sweep; run it once.
 
@@ -223,6 +230,7 @@ def run_fig6(
         scale, protocols, grid_sizes or GRID_SIZE_SWEEP, seed, workers=workers,
         faults=faults, workload_overrides=workload_overrides,
         reliable=reliable, retry_budget=retry_budget, queue_cap=queue_cap,
+        durable=durable,
     )
 
 

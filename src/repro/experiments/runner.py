@@ -44,6 +44,8 @@ def build_system(cfg: ExperimentConfig) -> tuple[PubSubSystem, Workload]:
         reliable=cfg.reliable,
         retry_budget=cfg.retry_budget,
         queue_cap=cfg.queue_cap,
+        durable=cfg.durable,
+        wal_dir=cfg.wal_dir,
     )
     workload = Workload(system, cfg.workload)
     return system, workload

@@ -62,6 +62,18 @@ class DeliveryStats:
             - self.shed
         )
 
+    @property
+    def write_offs(self) -> int:
+        """Deliveries the system gave up on rather than lost on the wire.
+
+        ``crash_lost`` (volatile state died with a broker) plus ``shed``
+        (overload/exhaustion policy). The durable fuzzer lane and soak
+        audit pin this at exactly 0: with the WAL and session handover
+        active, every crash- or shed-prone delivery must be recovered,
+        not reconciled away.
+        """
+        return self.crash_lost + self.shed
+
 
 class DeliveryChecker:
     """Streaming reliability auditor.

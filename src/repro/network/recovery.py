@@ -124,30 +124,68 @@ class CrashPlan:
         ``crashes``/``restarts`` entries are ``"BROKER@SECONDS"``;
         ``partitions`` entries are ``"A-B@SECONDS"``. Times are model
         seconds (converted to ms here, matching the CLI's units).
+
+        Malformed specs raise :class:`ConfigurationError` naming the
+        offending token and its position in the flag list, so a typo in
+        the fifth ``--broker-crash`` is findable without bisection.
         """
+
+        def _int_token(kind: str, pos: int, spec: str,
+                       token: str, role: str) -> int:
+            try:
+                return int(token)
+            except ValueError:
+                raise ConfigurationError(
+                    f"bad {kind} spec {spec!r} (entry {pos}): "
+                    f"{role} {token!r} is not an integer; "
+                    f"expected {'A-B' if kind == 'partition' else 'BROKER'}"
+                    f"@SECONDS"
+                ) from None
+
+        def _time_token(kind: str, pos: int, spec: str, token: str) -> float:
+            try:
+                return float(token)
+            except ValueError:
+                raise ConfigurationError(
+                    f"bad {kind} spec {spec!r} (entry {pos}): "
+                    f"time {token!r} is not a number; "
+                    f"expected {'A-B' if kind == 'partition' else 'BROKER'}"
+                    f"@SECONDS"
+                ) from None
+
         events: list[CrashEvent] = []
         for kind, specs in (("crash", crashes), ("restart", restarts)):
-            for spec in specs:
-                broker_s, _, time_s = spec.partition("@")
-                try:
-                    broker, t = int(broker_s), float(time_s)
-                except ValueError:
+            for pos, spec in enumerate(specs, start=1):
+                broker_s, sep, time_s = spec.partition("@")
+                if not sep:
                     raise ConfigurationError(
-                        f"bad {kind} spec {spec!r}; expected BROKER@SECONDS"
-                    ) from None
+                        f"bad {kind} spec {spec!r} (entry {pos}): "
+                        f"missing '@'; expected BROKER@SECONDS"
+                    )
+                broker = _int_token(kind, pos, spec, broker_s, "broker id")
+                t = _time_token(kind, pos, spec, time_s)
                 events.append(
                     CrashEvent(kind, t * 1000.0, broker=broker,
                                repair_delay_ms=repair_delay_ms)
                 )
-        for spec in partitions:
-            edge_s, _, time_s = spec.partition("@")
-            a_s, _, b_s = edge_s.partition("-")
-            try:
-                edge, t = (int(a_s), int(b_s)), float(time_s)
-            except ValueError:
+        for pos, spec in enumerate(partitions, start=1):
+            edge_s, sep, time_s = spec.partition("@")
+            if not sep:
                 raise ConfigurationError(
-                    f"bad partition spec {spec!r}; expected A-B@SECONDS"
-                ) from None
+                    f"bad partition spec {spec!r} (entry {pos}): "
+                    f"missing '@'; expected A-B@SECONDS"
+                )
+            a_s, sep, b_s = edge_s.partition("-")
+            if not sep:
+                raise ConfigurationError(
+                    f"bad partition spec {spec!r} (entry {pos}): "
+                    f"edge {edge_s!r} is missing '-'; expected A-B@SECONDS"
+                )
+            edge = (
+                _int_token("partition", pos, spec, a_s, "edge endpoint"),
+                _int_token("partition", pos, spec, b_s, "edge endpoint"),
+            )
+            t = _time_token("partition", pos, spec, time_s)
             events.append(
                 CrashEvent("partition", t * 1000.0, edge=edge,
                            repair_delay_ms=repair_delay_ms)

@@ -84,6 +84,12 @@ class Broker:
         self.system.tracer.emit(
             "publish", broker=self.id, event=msg.event.event_id
         )
+        dur = self.system.durability
+        if dur is not None:
+            # append-before-route: once the ingress broker accepts the
+            # publish, the event is recoverable from its WAL no matter
+            # which broker in the dissemination tree dies next
+            dur.on_publish(self.id, msg.event)
         self.route_event(msg.event, from_broker=None)
 
     def _rx_connect(self, msg: m.ConnectMessage, frm: int) -> None:
@@ -95,6 +101,10 @@ class Broker:
         # a client only generates acks for reliable deliveries, so the
         # manager is always present when one arrives
         self.system.reliability.on_ack(self.id, msg)
+
+    def _rx_session_transfer(self, msg: "m.SessionTransfer", frm: int) -> None:
+        # synthesized by the repair round in durable runs only
+        self.system.durability.on_session_transfer(self, msg)
 
     # ------------------------------------------------------------------
     # event routing (hot path)
@@ -130,6 +140,10 @@ class Broker:
         through; with the reliability layer enabled it sequences the
         message and arms the retransmission machinery instead.
         """
+        dur = self.system.durability
+        if dur is not None:
+            # append-before-send: the frame is durable before it is queued
+            dur.on_deliver(self.id, client, event)
         rel = self.system.reliability
         if rel is not None:
             rel.send(self.id, client, event)
@@ -191,6 +205,7 @@ class Broker:
         m.UnsubscribeMessage: _handle_unsubscribe,
         m.ConnectMessage: _rx_connect,
         m.AckMessage: _rx_ack,
+        m.SessionTransfer: _rx_session_transfer,
     }
 
     def _advertise(self, nbr: int, key: Hashable, f: Filter, category: str) -> None:

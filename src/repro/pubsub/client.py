@@ -191,6 +191,15 @@ class Client:
         exactly once.
         """
         self.system.metrics.on_delivery(self.id, event, self.system.clock.now)
+        dur = self.system.durability
+        if dur is not None:
+            # advance the durable delivery cursor (app-level receipt; a
+            # no-op under the reliability layer, whose cumulative ACK is
+            # the cursor of record)
+            dur.on_client_delivered(
+                self.id, self.current_broker if self.connected else None,
+                event,
+            )
         key = (event.publisher, event.seq)
         if key in self._seen_events:
             return

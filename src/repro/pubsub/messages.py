@@ -35,6 +35,7 @@ __all__ = [
     "DeliverMessage",
     "ReliableDeliver",
     "AckMessage",
+    "SessionTransfer",
     "HandoffRequest",
     "SubMigration",
     "SubMigrationAck",
@@ -468,3 +469,28 @@ class ForwardedBatch(Message):
     def __init__(self, client: int, events: list[Notification]) -> None:
         self.client = client
         self.events = events
+
+
+class SessionTransfer(Message):
+    """Repair round -> new home broker: durable-session handover.
+
+    When a client's session anchor is declared permanently dead (or
+    partitioned away), the repair round moves the durable session — the
+    unacked retransmit window plus the live slice of the delivery cursor —
+    to the client's new home broker instead of letting the reliability
+    layer exhaust its retry budget against a corpse. Rides the
+    generation-stamped synchronous resync (same trust model as the
+    routing-table reinstall), so it is dispatched directly, never queued
+    on a wire that may itself be dead.
+    """
+
+    __slots__ = ("client", "origin", "anchor", "events", "acked")
+    category = CAT_RELIABILITY
+
+    def __init__(self, client: int, origin: int, anchor: int,
+                 events: tuple, acked: tuple) -> None:
+        self.client = client
+        self.origin = origin      # the dead broker the session is leaving
+        self.anchor = anchor      # the new home broker installing it
+        self.events = events      # unacked window, send order
+        self.acked = acked        # settled ids still live in the log

@@ -216,6 +216,12 @@ class RecoveryCoordinator:
         elif t is m.EventMessage or t is m.PublishMessage:
             for cid in checker.matching_clients(msg.event.topic):
                 checker.mark_crash_risk(int(cid), msg.event)
+            if t is m.PublishMessage and self.system.durability is not None:
+                # the publish died before reaching any broker's WAL —
+                # brokered logs cannot replay what they never saw. Model
+                # the durable publisher outbox: the client library keeps
+                # the event and re-submits it after the repair round.
+                self.system.durability.dead_letter(msg.event)
 
     # ------------------------------------------------------------------
     # schedule execution
@@ -258,6 +264,12 @@ class RecoveryCoordinator:
                     if isinstance(pending, m.DeliverMessage):
                         checker.mark_crash_risk(cid, pending.event)
                 client.force_disconnect()
+        if system.reliability is not None:
+            # retire any straggler transmit windows owned by the corpse:
+            # the epoch bump cancels their pending retransmission timers
+            # (a timer armed mid-backoff must never fire into the repaired
+            # generation), and their frames are marked crash-exposed
+            system.reliability.on_broker_crash(bid)
         broker.queues.clear()
         broker.pstate.clear()
         system.tracer.emit("broker_crash", broker=bid)
@@ -303,6 +315,29 @@ class RecoveryCoordinator:
             for cid, ev in protocol.gather_stray(broker):
                 keep(cid, ev)
 
+        dur = system.durability
+        rel = system.reliability
+        if rel is not None:
+            # no reliability state may outlive a corpse: cancel pending
+            # retransmit timers against down brokers and drop their stale
+            # breaker verdicts before sessions are re-homed
+            rel.on_overlay_repair(self.down)
+        if dur is not None:
+            # stable storage outlives the processes: replay every broker's
+            # WAL and fold the logged events back into the backlog for all
+            # matching subscribers. Volatile queues lost to a crash are
+            # thereby rebuilt from the log (crash_lost -> 0); `keep`
+            # dedups against what the live gather already found.
+            for ev in dur.replay_events():
+                for cid in checker.matching_clients(ev.topic):
+                    keep(int(cid), ev)
+            # publisher-outbox re-submission: publishes that died on the
+            # wire before any broker logged them re-enter through the same
+            # backlog path (keep dedups pairs already delivered or queued)
+            for ev in dur.dead_letter_events():
+                for cid in checker.matching_clients(ev.topic):
+                    keep(int(cid), ev)
+
         # 2. re-converge the overlay and wipe routing/protocol state
         tree = rebuild_spanning_tree(
             system.topology, alive, self.cut,
@@ -337,6 +372,12 @@ class RecoveryCoordinator:
                 system.brokers[anchor], client, events
             )
             self._flood_entry(anchor, entry.key, entry.filter)
+            if dur is not None:
+                # if the client's durable session was anchored at a broker
+                # now declared dead, hand the unacked window over to the
+                # new anchor (rides this synchronous resync) instead of
+                # letting retries exhaust against the corpse
+                dur.rehome_session(cid, anchor, self.down)
             if client.connected:
                 protocol.on_connect(
                     system.brokers[client.current_broker],

@@ -209,6 +209,12 @@ class ReliabilityManager:
         #: — the backoff-determinism property tests compare this log across
         #: drivers; "kind" is "timeout" or "nack"
         self.retry_log: list[tuple[float, int, int, int, int, str]] = []
+        #: retransmit timers that fired while their owning broker was down
+        #: (a stale-generation fire). The crash path cancels every such
+        #: timer via :meth:`on_broker_crash` / :meth:`on_overlay_repair`,
+        #: so this counter must stay 0 — pinned by a regression test and
+        #: by the fuzzer's crash x reliability invariant rows.
+        self.stale_timer_fires = 0
 
     # ------------------------------------------------------------------
     # broker-side transmit path
@@ -263,7 +269,9 @@ class ReliabilityManager:
     def _arm_timer(self, link: _LinkTx) -> None:
         link.timer_epoch += 1
         backoff = min(
-            self.rto_max_ms, self.rto_base_ms * (2.0 ** link.attempts)
+            # exponent clamp: durable links retry past the nominal budget,
+            # and 2.0**n overflows long before the min() would discard it
+            self.rto_max_ms, self.rto_base_ms * (2.0 ** min(link.attempts, 32))
         )
         # seeded jitter (+/-20%) de-synchronises links that timed out in
         # the same instant, deterministically
@@ -287,11 +295,19 @@ class ReliabilityManager:
         rec = self.system.recovery
         if rec is not None and rec.is_down(link.broker):
             # the owning broker died; the crash path reclaims and marks
-            # this window — retries must never fight the coordinator
+            # this window — retries must never fight the coordinator.
+            # on_broker_crash cancels these timers at crash time, so this
+            # branch is a belt-and-braces guard that must never fire.
+            self.stale_timer_fires += 1
             return
         if link.attempts >= self.retry_budget:
-            self._exhaust(link)
-            return
+            if self.system.durability is None:
+                self._exhaust(link)
+                return
+            # durable runs never write a window off against a live broker:
+            # the frames are WAL-covered, so keep retrying at the capped
+            # backoff until the client acks or the repair round re-homes
+            # the session (dead brokers are swept by on_broker_crash)
         link.attempts += 1
         seq, msg = next(iter(link.unacked.items()))
         self.retry_log.append(
@@ -321,6 +337,43 @@ class ReliabilityManager:
             metrics.traffic.account_breaker_trip(link.broker, link.client)
         self._retire(link)
 
+    # -- crash/repair integration ---------------------------------------
+    def on_broker_crash(self, broker_id: int) -> None:
+        """Sweep transmit state owned by a broker that just died.
+
+        Every link whose sending side was ``broker_id`` is retired — the
+        epoch bump cancels any pending retransmission timer, so a timer
+        armed mid-backoff can never fire into the post-repair generation
+        — and its unacked window is marked crash-exposed so the ledger
+        reconciles however recovery resolves each frame. Called by the
+        coordinator at crash time and again (idempotently) during the
+        repair round for brokers declared permanently dead.
+        """
+        checker = self.system.metrics.delivery
+        for key in sorted(self._links):
+            if key[0] != broker_id:
+                continue
+            link = self._links.get(key)
+            if link is None:
+                continue
+            for pending in link.unacked.values():
+                checker.mark_crash_risk(link.client, pending.event)
+            self._retire(link)
+
+    def on_overlay_repair(self, down: "set[int]") -> None:
+        """Repair-round sweep: no reliability state may outlive a corpse.
+
+        Retires any straggler links targeting down brokers (cancelling
+        their timers) and discards circuit-breaker state keyed to them —
+        a restarted broker is a fresh process, and a dead one will never
+        serve another send, so either way the old breaker verdict is
+        stale.
+        """
+        for bid in sorted(down):
+            self.on_broker_crash(bid)
+        for key in sorted(k for k in self._breakers if k[0] in down):
+            del self._breakers[key]
+
     # -- acks ------------------------------------------------------------
     def on_ack(self, broker_id: int, msg: m.AckMessage) -> None:
         """Broker dispatch hook for client acks."""
@@ -328,12 +381,17 @@ class ReliabilityManager:
         if link is None or link.session != msg.session:
             return  # stale session: the window was reclaimed or rebuilt
         progress = False
+        dur = self.system.durability
         while link.unacked:
             seq = next(iter(link.unacked))
             if seq > msg.cum_ack:
                 break
-            del link.unacked[seq]
+            acked = link.unacked.pop(seq)
             link.nack_retx.discard(seq)
+            if dur is not None:
+                # the cumulative ack is the durable delivery cursor:
+                # log the settlement so checkpointing can compact it away
+                dur.on_settled(broker_id, msg.client, acked.event)
             progress = True
         if progress:
             link.attempts = 0

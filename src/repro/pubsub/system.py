@@ -50,6 +50,7 @@ from repro.util.ids import IdAllocator
 if TYPE_CHECKING:  # pragma: no cover
     from repro.mobility.base import MobilityProtocol
     from repro.pubsub.recovery import RecoveryCoordinator
+    from repro.pubsub.wal import LogStore
 
 __all__ = ["PubSubSystem"]
 
@@ -91,6 +92,9 @@ class PubSubSystem:
         reliable: bool = False,
         retry_budget: int = 8,
         queue_cap: Optional[int] = None,
+        durable: bool = False,
+        wal_dir: Optional[str] = None,
+        log_store: Optional["LogStore"] = None,
     ) -> None:
         if grid_k <= 0 and topology is None:
             raise ConfigurationError(f"grid_k must be >= 1, got {grid_k}")
@@ -103,6 +107,10 @@ class PubSubSystem:
                 f"queue_cap must be >= 1 (or None for unbounded), "
                 f"got {queue_cap}"
             )
+        if wal_dir is not None and not durable:
+            raise ConfigurationError("wal_dir requires durable=True")
+        if log_store is not None and not durable:
+            raise ConfigurationError("log_store requires durable=True")
         if migration_batch_size <= 0:
             raise ConfigurationError(
                 f"migration_batch_size must be >= 1, got {migration_batch_size}"
@@ -267,6 +275,19 @@ class PubSubSystem:
             # capped-but-unreliable runs still write sheds off explicitly;
             # the checker needs pair tracking to reconcile them
             self.metrics.delivery.enable_reliability()
+
+        #: durable broker state (write-ahead log + persistent sessions).
+        #: Like faults/crashes/reliability, the manager is only built when
+        #: durable=True: default-off runs construct nothing, append
+        #: nothing, and stay byte-identical to the non-durable seed
+        #: behaviour (the hot-path hooks are a single `is not None` check)
+        self.durability = None
+        if durable:
+            from repro.pubsub.wal import DurabilityManager
+
+            store = (log_store if log_store is not None
+                     else driver.build_log_store(wal_dir))
+            self.durability = DurabilityManager(self, store)
 
         self.brokers: dict[int, Broker] = {}
         for bid in range(self.topology.n):

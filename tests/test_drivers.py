@@ -208,6 +208,7 @@ def test_broker_dispatch_table_covers_exactly_the_core_types():
         m.UnsubscribeMessage,
         m.ConnectMessage,
         m.AckMessage,
+        m.SessionTransfer,
     }
 
 

@@ -1,0 +1,221 @@
+"""End-to-end durability: zero write-offs, handover, driver parity.
+
+The tentpole's acceptance battery:
+
+* **Zero write-off** — with ``durable=True`` a crash, restart or overlay
+  partition costs no deliveries: ``crash_lost == shed == 0`` alongside
+  the reliability lane's ``missing == lost == 0``, across the fuzzer's
+  seeded scenario space and hand-picked worst cases (permanent broker
+  death with sessions anchored there).
+* **Session handover** — when a client's durable session was anchored at
+  a broker declared permanently dead, the repair round hands the unacked
+  window to the new home broker (counted in
+  ``DurabilityManager.handovers``) instead of exhausting retries against
+  the corpse — durable runs never trip a breaker.
+* **Opt-in byte-identity** — default-off configs construct no durability
+  state at all, and durable runs are trace-identical across sim engines
+  and across the simulated/live drivers.
+* **Stale-timer regression** (satellite) — a retransmit timer armed
+  mid-backoff against a broker that then dies permanently must be
+  cancelled by the crash sweep, never fire into the repaired overlay
+  (``ReliabilityManager.stale_timer_fires`` pinned at 0).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.conformance.fuzzer import (
+    ScenarioFuzzer,
+    check_invariants,
+    compare_outcomes,
+    run_scenario,
+)
+from repro.conformance.scenarios import ENGINE_BUNDLES, Scenario
+from repro.drivers.live import run_virtual_scenario
+from repro.errors import ConfigurationError
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import build_system, drain_to_quiescence
+from repro.network.faults import FaultProfile
+from repro.network.recovery import CrashPlan
+from repro.pubsub.system import PubSubSystem
+from repro.pubsub.wal import decode_records
+from repro.workload.spec import WorkloadSpec
+
+SPEC = WorkloadSpec(
+    clients_per_broker=3,
+    mobile_fraction=0.5,
+    mean_connected_s=10.0,
+    mean_disconnected_s=5.0,
+    publish_interval_s=15.0,
+    duration_s=120.0,
+)
+
+LOSSY = FaultProfile(deliver_loss=0.2, deliver_duplicate=0.05)
+
+
+def _dur_cfg(protocol="mhh", seed=7, crashes=None, **kw):
+    return ExperimentConfig(
+        protocol=protocol, grid_k=3, seed=seed, workload=SPEC,
+        faults=LOSSY, reliable=True, durable=True, crashes=crashes, **kw,
+    )
+
+
+def _run_simulated(cfg):
+    system, workload = build_system(cfg)
+    system.metrics.delivery.record_log = True
+    system.run(until=cfg.workload.duration_ms)
+    workload.stop()
+    drain_to_quiescence(system, workload)
+    return system
+
+
+def _assert_zero_write_off(system):
+    st = system.metrics.delivery.stats
+    assert st.missing == 0
+    assert st.lost_explicit == 0
+    assert st.crash_lost == 0
+    assert st.shed == 0
+    assert st.write_offs == 0
+    assert system.metrics.traffic.total_breaker_trips() == 0
+
+
+# ---------------------------------------------------------------------------
+# construction / gating
+# ---------------------------------------------------------------------------
+def test_default_config_builds_no_durability():
+    cfg = ExperimentConfig(protocol="mhh", grid_k=3, seed=7, workload=SPEC)
+    system, _ = build_system(cfg)
+    assert system.durability is None
+    rel_only, _ = build_system(
+        ExperimentConfig(protocol="mhh", grid_k=3, seed=7, workload=SPEC,
+                         reliable=True)
+    )
+    assert rel_only.durability is None
+
+
+def test_wal_dir_requires_durable():
+    with pytest.raises(ConfigurationError):
+        PubSubSystem(grid_k=3, protocol="mhh", seed=1, wal_dir="/tmp/x")
+
+
+def test_durable_run_logs_and_checkpoints():
+    system = _run_simulated(_dur_cfg())
+    dur = system.durability
+    assert dur is not None
+    assert dur.records_appended > 0
+    assert dur.store.name == "memory"
+    _assert_zero_write_off(system)
+
+
+# ---------------------------------------------------------------------------
+# zero write-off under every failure shape
+# ---------------------------------------------------------------------------
+def test_crash_and_restart_loses_nothing():
+    cfg = _dur_cfg(crashes=CrashPlan.parse(crashes=["1@60"],
+                                           restarts=["1@90"]))
+    system = _run_simulated(cfg)
+    assert system.recovery.repairs == 2
+    _assert_zero_write_off(system)
+
+
+def test_permanent_death_hands_sessions_over():
+    cfg = _dur_cfg(seed=11, crashes=CrashPlan.parse(crashes=["4@60"]))
+    system = _run_simulated(cfg)
+    _assert_zero_write_off(system)
+    # broker 4 never comes back: any session anchored there must have been
+    # re-homed by the repair round, and nothing retried against the corpse
+    dur = system.durability
+    assert all(s.anchor != 4 for s in dur.sessions.values())
+    assert system.reliability.stale_timer_fires == 0
+
+
+def test_partition_loses_nothing():
+    cfg = _dur_cfg(crashes=CrashPlan.parse(partitions=["0-1@60"]))
+    system = _run_simulated(cfg)
+    _assert_zero_write_off(system)
+
+
+@pytest.mark.parametrize("protocol", ["mhh", "sub-unsub", "two-phase"])
+def test_durable_lane_scenarios_conform(protocol):
+    """One full fuzzer-lane scenario per reliable protocol."""
+    scenario = Scenario.durable_from_seed(97, protocol)
+    outcome = run_scenario(scenario)
+    assert check_invariants(scenario, outcome) == []
+    assert outcome.crash_lost == 0
+    assert outcome.shed == 0
+
+
+def test_durability_lane_batch_passes():
+    report = ScenarioFuzzer(
+        n_scenarios=3, master_seed=3, cross_engine=False,
+        durability_lane=True,
+    ).run()
+    assert report.passed, [r.violations for r in report.failures]
+    assert all(r.durability_lane for r in report.results)
+    assert "--durability-lane" in report.results[0].replay_command()
+
+
+# ---------------------------------------------------------------------------
+# determinism: engines and drivers
+# ---------------------------------------------------------------------------
+def test_durable_run_identical_across_engines():
+    scenario = Scenario.durable_from_seed(41)
+    primary = run_scenario(scenario, *ENGINE_BUNDLES[0])
+    legacy = run_scenario(scenario, *ENGINE_BUNDLES[1])
+    assert check_invariants(scenario, primary) == []
+    assert compare_outcomes(primary, legacy) == []
+
+
+def test_durable_run_identical_across_drivers():
+    cfg = _dur_cfg(crashes=CrashPlan.parse(crashes=["1@60"],
+                                           restarts=["1@90"]))
+    sim = _run_simulated(cfg)
+    live = run_virtual_scenario(cfg)
+    assert sim.metrics.delivery.log == live.metrics.delivery.log
+    assert (sim.durability.records_appended
+            == live.durability.records_appended)
+    assert sim.durability.handovers == live.durability.handovers
+    _assert_zero_write_off(live)
+
+
+def test_virtual_driver_writes_real_wal_files(tmp_path):
+    cfg = _dur_cfg(wal_dir=str(tmp_path),
+                   crashes=CrashPlan.parse(crashes=["1@60"],
+                                           restarts=["1@90"]))
+    system = run_virtual_scenario(cfg)
+    _assert_zero_write_off(system)
+    assert system.durability.store.name == "file"
+    wal_files = sorted(tmp_path.glob("b*/seg*.wal"))
+    assert wal_files, "no WAL segments written to --wal-dir"
+    for path in wal_files:
+        _, torn = decode_records(path.read_bytes())
+        assert torn == 0
+
+
+# ---------------------------------------------------------------------------
+# satellite: the stale retransmit-timer regression
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("seed", [7, 11, 23])
+def test_no_stale_timer_fires_after_permanent_death(seed):
+    """A timer armed mid-backoff against a broker later declared dead must
+    be cancelled by the crash sweep (epoch bump), not fire into the
+    repaired generation. Reliability-only (no WAL): the fix is in the
+    crash path itself."""
+    cfg = ExperimentConfig(
+        protocol="mhh", grid_k=3, seed=seed, workload=SPEC,
+        faults=FaultProfile(deliver_loss=0.3), reliable=True,
+        crashes=CrashPlan.parse(crashes=["1@50"]),
+    )
+    system = _run_simulated(cfg)
+    assert system.reliability.stale_timer_fires == 0
+    st = system.metrics.delivery.stats
+    assert st.missing == 0
+
+
+def test_no_stale_timer_fires_across_fuzzer_seeds():
+    report = ScenarioFuzzer(
+        n_scenarios=3, master_seed=5, cross_engine=False,
+        reliability_lane=True, crash_lane=True,
+    ).run()
+    assert report.passed, [r.violations for r in report.failures]

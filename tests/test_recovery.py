@@ -139,6 +139,49 @@ def test_crash_plan_parse_rejects_malformed_specs(bad):
         CrashPlan.parse(partitions=[bad])
 
 
+@pytest.mark.parametrize(
+    "kwargs, fragments",
+    [
+        # the offending token and its flag-list position are both named,
+        # so a typo in the fifth --broker-crash is findable directly
+        (
+            {"crashes": ["1@5", "x@12"]},
+            ["bad crash spec 'x@12' (entry 2)", "broker id 'x'",
+             "BROKER@SECONDS"],
+        ),
+        (
+            {"crashes": ["4@notlate"]},
+            ["bad crash spec '4@notlate' (entry 1)",
+             "time 'notlate' is not a number"],
+        ),
+        (
+            {"restarts": ["2@10", "3@20", "7"]},
+            ["bad restart spec '7' (entry 3)", "missing '@'"],
+        ),
+        (
+            {"partitions": ["0-1@5", "12@3"]},
+            ["bad partition spec '12@3' (entry 2)",
+             "edge '12' is missing '-'", "A-B@SECONDS"],
+        ),
+        (
+            {"partitions": ["a-2@5"]},
+            ["bad partition spec 'a-2@5' (entry 1)",
+             "edge endpoint 'a' is not an integer"],
+        ),
+        (
+            {"partitions": ["1-2@"]},
+            ["bad partition spec '1-2@' (entry 1)", "time ''"],
+        ),
+    ],
+)
+def test_crash_plan_parse_errors_name_token_and_position(kwargs, fragments):
+    with pytest.raises(ConfigurationError) as exc:
+        CrashPlan.parse(**kwargs)
+    message = str(exc.value)
+    for fragment in fragments:
+        assert fragment in message, (fragment, message)
+
+
 # ---------------------------------------------------------------------------
 # validate_plan: the pre-run schedule replay
 # ---------------------------------------------------------------------------
