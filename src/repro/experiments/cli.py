@@ -6,6 +6,8 @@ Usage::
     python -m repro.experiments.cli fig6b --scale paper
     python -m repro.experiments.cli all --scale small
     python -m repro.experiments.cli soak --duration 3 --loss 0.1
+    python -m repro.experiments.cli serve --port 7001
+    python -m repro.experiments.cli connect --spawn 3 --scenario-seed 303
 
 ``fig5a``/``fig5b`` share one sweep, as do ``fig6a``/``fig6b``; asking for
 both panels of a figure runs the sweep once.
@@ -31,6 +33,15 @@ B@T`` / ``--link-partition A-B@T`` schedule overlay failures at model
 second ``T`` (repeatable; see :mod:`repro.network.recovery`); the repair
 round runs ``--crash-repair-delay`` model ms after each failure. The
 post-drain audit then also checks the crash rows of the invariant matrix.
+
+``serve``/``connect`` run the **multi-process wire harness**
+(:mod:`repro.wire`): ``serve`` starts one broker node server (real TCP,
+framed binary codec); ``connect`` drives a fuzzer scenario from a
+coordinator with the brokers split across node processes — either ones it
+spawns itself (``--spawn N``) or already-running servers
+(``--node HOST:PORT``, repeatable). ``--verify-sim`` re-runs the scenario
+on the simulated driver and diffs the delivery logs (the CI wire-smoke
+gate).
 
 Installed entry point: ``mhh-repro`` (see ``setup.cfg``).
 """
@@ -111,6 +122,71 @@ def _run_soak(args, faults: Optional[FaultProfile]) -> int:
     return 0
 
 
+def _run_wire_serve(args) -> int:
+    from repro.wire.node import main as node_main
+
+    return node_main([
+        "serve", "--host", args.host, "--port", str(args.port),
+        "--keepalive", str(args.keepalive),
+    ])
+
+
+def _run_wire_connect(args, faults: Optional[FaultProfile]) -> int:
+    import dataclasses
+
+    from repro.conformance.scenarios import PROTOCOLS, Scenario
+    from repro.wire.harness import run_socket_scenario
+
+    endpoints = None
+    if args.node:
+        endpoints = []
+        for spec in args.node:
+            host, _, port = spec.rpartition(":")
+            endpoints.append((host or "127.0.0.1", int(port)))
+    base = Scenario.from_seed(args.scenario_seed)
+    if faults is not None:
+        base = dataclasses.replace(base, faults=faults)
+    protocols = (
+        PROTOCOLS if args.wire_protocol == "all" else (args.wire_protocol,)
+    )
+    failures: list[str] = []
+    for protocol in protocols:
+        scenario = dataclasses.replace(base, protocol=protocol)
+        system = run_socket_scenario(
+            scenario.config(),
+            processes=args.spawn,
+            keepalive_s=args.keepalive,
+            endpoints=endpoints,
+        )
+        st = system.metrics.delivery.stats
+        wire = system.net.stats
+        verdict, detail = "PASS", ""
+        if args.verify_sim:
+            from repro.conformance.fuzzer import run_scenario
+
+            sim = run_scenario(scenario)
+            socket_log = tuple(system.metrics.delivery.log)
+            if (
+                sim.delivery_log != socket_log
+                or (sim.delivered, sim.duplicates, sim.lost, sim.missing)
+                != (st.delivered, st.duplicates, st.lost_explicit, st.missing)
+            ):
+                verdict, detail = "FAIL", " sim-parity MISMATCH"
+                failures.append(protocol)
+        print(
+            f"{verdict} {protocol:12s} published={st.published} "
+            f"delivered={st.delivered} dups={st.duplicates} "
+            f"lost={st.lost_explicit} missing={st.missing} "
+            f"dispatches={wire.dispatches} effects={wire.effects} "
+            f"resumes={wire.resumes} tx={wire.bytes_tx}B "
+            f"rx={wire.bytes_rx}B{detail}"
+        )
+    if failures:
+        print("wire connect FAILED: " + ", ".join(failures))
+        return 1
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments.cli",
@@ -118,9 +194,12 @@ def main(argv: Sequence[str] | None = None) -> int:
     )
     parser.add_argument(
         "figure",
-        choices=sorted(_FIG5 | _FIG6 | {"fig5", "fig6", "all", "soak"}),
-        help="which figure (or panel) to regenerate, or 'soak' to run "
-             "the live asyncio driver under a churn workload",
+        choices=sorted(
+            _FIG5 | _FIG6 | {"fig5", "fig6", "all", "soak", "serve", "connect"}
+        ),
+        help="which figure (or panel) to regenerate, 'soak' to run the "
+             "live asyncio driver under a churn workload, or "
+             "'serve'/'connect' for the multi-process wire harness",
     )
     parser.add_argument("--scale", default=None,
                         choices=["smoke", "small", "paper"])
@@ -194,6 +273,32 @@ def main(argv: Sequence[str] | None = None) -> int:
                       metavar="MS",
                       help="model ms between a failure event and its "
                            "repair round (default 500)")
+    wire = parser.add_argument_group("wire (multi-process socket harness)")
+    wire.add_argument("--host", default=None, metavar="HOST",
+                      help="serve: interface to listen on "
+                           "(default 127.0.0.1)")
+    wire.add_argument("--port", type=int, default=None, metavar="PORT",
+                      help="serve: TCP port; 0 picks a free one and prints "
+                           "it (default 0)")
+    wire.add_argument("--keepalive", type=float, default=None, metavar="S",
+                      help="wire keepalive ping interval in seconds "
+                           "(default 2)")
+    wire.add_argument("--node", action="append", default=None,
+                      metavar="HOST:PORT",
+                      help="connect: address of a running node server "
+                           "(repeatable; default: spawn local ones)")
+    wire.add_argument("--spawn", type=int, default=None, metavar="N",
+                      help="connect: number of local node processes to "
+                           "spawn when no --node is given (default 2)")
+    wire.add_argument("--scenario-seed", type=int, default=None, metavar="N",
+                      help="connect: conformance scenario seed to drive "
+                           "over the sockets (default 303)")
+    wire.add_argument("--wire-protocol", default=None,
+                      choices=sorted(_SOAK_PROTOCOLS) + ["all"],
+                      help="connect: protocol(s) to run (default: all four)")
+    wire.add_argument("--verify-sim", action="store_true",
+                      help="connect: re-run each scenario on the simulated "
+                           "driver and require identical delivery logs")
     args = parser.parse_args(argv)
 
     # --seed and the fault flags are shared; everything else is scoped to
@@ -205,17 +310,58 @@ def main(argv: Sequence[str] | None = None) -> int:
                  "broker_crash", "broker_restart", "link_partition",
                  "crash_repair_delay")
     figure_only = ("scale", "workers", "raw", "mobility", "topic_skew")
+    serve_only = ("host", "port")
+    connect_only = ("node", "spawn", "scenario_seed", "wire_protocol",
+                    "verify_sim")
+    wire_shared = ("keepalive",)
+    mode = args.figure if args.figure in ("soak", "serve", "connect") else "figures"
+    allowed = {
+        "figures": figure_only,
+        "soak": soak_only,
+        "serve": serve_only + wire_shared,
+        "connect": connect_only + wire_shared,
+    }[mode]
+    scope_names = {
+        "figures": "figure sweeps",
+        "soak": "soak",
+        "serve": "serve",
+        "connect": "connect",
+    }
     stray = [
         name
-        for name in (figure_only if args.figure == "soak" else soak_only)
-        if getattr(args, name) not in (None, False)
+        for name in soak_only + figure_only + serve_only + connect_only
+        + wire_shared
+        if name not in allowed and getattr(args, name) not in (None, False)
     ]
     if stray:
-        scope = "figure sweeps" if args.figure == "soak" else "soak"
         parser.error(
-            f"--{stray[0].replace('_', '-')} only applies to {scope} "
-            f"(target: {args.figure})"
+            f"--{stray[0].replace('_', '-')} does not apply to "
+            f"{scope_names[mode]} (target: {args.figure})"
         )
+    if mode in ("serve", "connect"):
+        if args.reliable or args.durable or args.queue_cap is not None:
+            parser.error(
+                "the wire harness does not support "
+                "--reliable/--durable/--queue-cap yet"
+            )
+        if mode == "serve" and (args.loss or args.dup or args.jitter):
+            parser.error(
+                "fault flags apply to the coordinator (connect), not serve"
+            )
+        if args.node and args.spawn is not None:
+            parser.error("--node and --spawn are mutually exclusive")
+    if args.keepalive is None:
+        args.keepalive = 2.0
+    if args.host is None:
+        args.host = "127.0.0.1"
+    if args.port is None:
+        args.port = 0
+    if args.spawn is None:
+        args.spawn = 2
+    if args.scenario_seed is None:
+        args.scenario_seed = 303
+    if args.wire_protocol is None:
+        args.wire_protocol = "all"
     if args.scale is None:
         args.scale = "small"
     if args.topic_skew is None:
@@ -254,6 +400,10 @@ def main(argv: Sequence[str] | None = None) -> int:
             deliver_duplicate=args.dup,
             wireless_jitter_ms=args.jitter,
         )
+    if args.figure == "serve":
+        return _run_wire_serve(args)
+    if args.figure == "connect":
+        return _run_wire_connect(args, faults)
     if args.figure == "soak":
         return _run_soak(args, faults)
     overrides: dict[str, Any] = {}

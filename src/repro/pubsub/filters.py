@@ -307,7 +307,13 @@ class ConjunctionFilter(Filter):
         return True
 
     def identity(self) -> tuple:
-        return ("conj", tuple(sorted(c.key() for c in self.constraints)))
+        # sort key flattens Op to its string value: two constraints on the
+        # same attribute would otherwise compare unorderable enum members
+        keys = sorted(
+            (c.key() for c in self.constraints),
+            key=lambda k: (k[0], k[1].value, repr(k[2])),
+        )
+        return ("conj", tuple(keys))
 
     def as_range(self) -> Optional[tuple[str, float, float]]:
         if len(self.constraints) != 1:

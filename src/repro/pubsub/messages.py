@@ -74,11 +74,65 @@ OVERHEAD_CATEGORIES = frozenset(
 )
 
 
+def _norm(value):
+    """Comparison key for a message field.
+
+    :class:`Notification` compares by identity (the kernel tracks in-flight
+    events by object), so message equality flattens notifications — and any
+    container holding them — to value tuples.
+    """
+    if isinstance(value, Notification):
+        attrs = tuple(sorted(value.attrs.items())) if value.attrs else None
+        return (
+            "note", value.event_id, value.publisher, value.seq,
+            value.publish_time, value.topic, attrs,
+        )
+    if isinstance(value, (tuple, list)):
+        return (type(value).__name__, tuple(_norm(v) for v in value))
+    if isinstance(value, frozenset):
+        return ("frozenset", frozenset(_norm(v) for v in value))
+    if isinstance(value, dict):
+        return ("dict", tuple(sorted((k, _norm(v)) for k, v in value.items())))
+    if isinstance(value, Message):
+        return (type(value).__name__, tuple(_norm(v) for _, v in value.wire_fields()))
+    return value
+
+
 class Message:
-    """Base wire message. Subclasses set ``category``."""
+    """Base wire message. Subclasses set ``category``.
+
+    Messages compare **structurally** (same type, same field values — the
+    wire codec's round-trip contract is ``decode(encode(msg)) == msg``) but
+    keep **identity hashing**: several field types are unhashable (event
+    lists), and the link layer tracks in-flight frames by ``id()``, so a
+    value hash would buy nothing and cost a field walk per probe. No kernel
+    data structure keys messages by value (they are tracked by identity or
+    not at all), so the eq/hash split is safe here.
+    """
 
     __slots__ = ()
     category: str = CAT_MOBILITY_CTRL
+
+    def wire_fields(self) -> tuple:
+        """``(name, value)`` pairs over every slot, base classes first."""
+        out = []
+        for klass in reversed(type(self).__mro__):
+            for name in getattr(klass, "__slots__", ()):
+                out.append((name, getattr(self, name)))
+        return tuple(out)
+
+    def __eq__(self, other: object) -> bool:
+        if type(other) is not type(self):
+            return NotImplemented
+        ours = self.wire_fields()
+        theirs = other.wire_fields()
+        return [_norm(v) for _, v in ours] == [_norm(v) for _, v in theirs]
+
+    __hash__ = object.__hash__
+
+    def __repr__(self) -> str:
+        fields = ", ".join(f"{k}={v!r}" for k, v in self.wire_fields())
+        return f"{type(self).__name__}({fields})"
 
 
 # ---------------------------------------------------------------------------

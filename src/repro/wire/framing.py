@@ -1,0 +1,144 @@
+"""Length-prefixed CRC-framed stream framing.
+
+Frame layout (mirrors the WAL record convention in ``pubsub/wal.py``)::
+
+    <u32 payload-length, little-endian> <u32 crc32(payload)> <payload>
+
+The decoder is incremental: feed it arbitrary byte chunks (a torn TCP read
+is fine) and pull complete payloads out as they materialise. Corruption is
+unrecoverable by design — a stream with a bad CRC or an absurd length
+prefix has lost sync, so the decoder latches into a dead state and the
+owner must drop the connection. No exception other than :class:`FrameError`
+subclasses ever leaves this module, and every rejection increments a typed
+counter so transports can account the failure.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from typing import Iterator, List, Optional
+
+__all__ = [
+    "HEADER_SIZE",
+    "MAX_FRAME_SIZE",
+    "FrameError",
+    "FrameCorruptionError",
+    "FrameTooLargeError",
+    "FrameDecoder",
+    "encode_frame",
+]
+
+_HDR = struct.Struct("<II")
+HEADER_SIZE = _HDR.size
+
+#: Hard ceiling on a single frame's payload. Generous for the wire
+#: protocol's biggest frames (a migration batch of events is a few KiB) but
+#: small enough that a corrupt length prefix cannot make a peer buffer GiBs.
+MAX_FRAME_SIZE = 4 * 1024 * 1024
+
+
+class FrameError(Exception):
+    """Base class for framing failures. The stream is dead once raised."""
+
+
+class FrameCorruptionError(FrameError):
+    """CRC mismatch: the payload bytes do not match their checksum."""
+
+
+class FrameTooLargeError(FrameError):
+    """Length prefix exceeds the frame ceiling (corrupt or hostile peer)."""
+
+
+def encode_frame(payload: bytes) -> bytes:
+    """Wrap ``payload`` in a ``<len><crc32>`` header."""
+    if len(payload) > MAX_FRAME_SIZE:
+        raise FrameTooLargeError(
+            f"refusing to encode {len(payload)} byte frame "
+            f"(ceiling {MAX_FRAME_SIZE})"
+        )
+    return _HDR.pack(len(payload), zlib.crc32(payload)) + payload
+
+
+class FrameDecoder:
+    """Incremental frame decoder for one stream.
+
+    ``feed(chunk)`` returns the list of payloads completed by that chunk.
+    Partial frames stay buffered across calls. After the first
+    :class:`FrameError` the decoder is *dead*: further feeds raise the same
+    error class immediately — the caller must close the connection rather
+    than attempt resync.
+
+    Counters (``frames``, ``bytes_in``, ``corrupt``, ``oversize``) let the
+    owning transport account rejections in its shed/fault ledgers.
+    """
+
+    __slots__ = ("_buf", "_dead", "max_frame", "frames", "bytes_in",
+                 "corrupt", "oversize")
+
+    def __init__(self, max_frame: int = MAX_FRAME_SIZE) -> None:
+        self._buf = bytearray()
+        self._dead: Optional[FrameError] = None
+        self.max_frame = max_frame
+        self.frames = 0
+        self.bytes_in = 0
+        self.corrupt = 0
+        self.oversize = 0
+
+    @property
+    def dead(self) -> bool:
+        return self._dead is not None
+
+    @property
+    def buffered(self) -> int:
+        """Bytes held for a not-yet-complete frame (torn-read detector)."""
+        return len(self._buf)
+
+    def feed(self, chunk: bytes) -> List[bytes]:
+        if self._dead is not None:
+            raise type(self._dead)(str(self._dead))
+        self.bytes_in += len(chunk)
+        self._buf += chunk
+        out: List[bytes] = []
+        while True:
+            payload = self._next()
+            if payload is None:
+                return out
+            out.append(payload)
+
+    def _next(self) -> Optional[bytes]:
+        buf = self._buf
+        if len(buf) < HEADER_SIZE:
+            return None
+        length, crc = _HDR.unpack_from(buf)
+        if length > self.max_frame:
+            self.oversize += 1
+            self._die(FrameTooLargeError(
+                f"frame length {length} exceeds ceiling {self.max_frame}"
+            ))
+        end = HEADER_SIZE + length
+        if len(buf) < end:
+            return None
+        payload = bytes(buf[HEADER_SIZE:end])
+        if zlib.crc32(payload) != crc:
+            self.corrupt += 1
+            self._die(FrameCorruptionError(
+                f"crc mismatch on {length} byte frame"
+            ))
+        del buf[:end]
+        self.frames += 1
+        return payload
+
+    def _die(self, err: FrameError) -> None:
+        self._dead = err
+        self._buf.clear()
+        raise err
+
+
+def iter_frames(data: bytes, max_frame: int = MAX_FRAME_SIZE) -> Iterator[bytes]:
+    """Decode a complete byte string of concatenated frames (tests, tools)."""
+    dec = FrameDecoder(max_frame=max_frame)
+    for payload in dec.feed(data):
+        yield payload
+    if dec.buffered:
+        raise FrameCorruptionError(f"{dec.buffered} trailing bytes after last frame")

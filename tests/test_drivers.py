@@ -20,7 +20,7 @@ import pytest
 from repro.drivers.base import Driver
 from repro.drivers.live import LiveDriver, VirtualClock, run_soak, run_virtual_scenario
 from repro.drivers.simulated import SimulatedDriver
-from repro.errors import ConfigurationError, SchedulingError
+from repro.errors import ConfigurationError
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.runner import build_system, drain_to_quiescence
 from repro.network.faults import FaultProfile
@@ -112,68 +112,10 @@ def test_live_driver_matches_simulated_driver_under_broker_crash(protocol):
     assert simulated[-1], "degenerate run: no deliveries at all"
 
 
-# ---------------------------------------------------------------------------
-# VirtualClock semantics
-# ---------------------------------------------------------------------------
-def test_virtual_clock_fires_in_time_then_submission_order():
-    clock = VirtualClock()
-    fired = []
-    clock.call_later(5.0, fired.append, "later")
-    clock.call_later(1.0, fired.append, "a")
-    clock.call_later_fifo(1.0, fired.append, "b")
-    clock.call_later(1.0, fired.append, "c")
-    clock.run()
-    assert fired == ["a", "b", "c", "later"]
-    assert clock.now == 5.0
-    assert clock.pending == 0
-
-
-def test_virtual_clock_run_until_advances_clock_like_simulator():
-    clock = VirtualClock()
-    fired = []
-    clock.call_later(10.0, fired.append, "x")
-    clock.run(until=4.0)
-    assert fired == [] and clock.now == 4.0
-    clock.run(until=25.0)
-    assert fired == ["x"] and clock.now == 25.0
-
-
-def test_virtual_clock_cancel_is_idempotent_and_tracks_pending():
-    clock = VirtualClock()
-    fired = []
-    handle = clock.call_later(1.0, fired.append, "no")
-    clock.call_later(2.0, fired.append, "yes")
-    assert clock.pending == 2
-    handle.cancel()
-    handle.cancel()
-    assert clock.pending == 1
-    clock.run()
-    assert fired == ["yes"]
-    # cancelling after the fire must not corrupt the pending count
-    done = clock.call_later(1.0, fired.append, "again")
-    clock.run()
-    done.cancel()
-    assert clock.pending == 0
-
-
-def test_virtual_clock_rejects_negative_delay():
-    with pytest.raises(SchedulingError):
-        VirtualClock().call_later(-1.0, lambda: None)
-
-
-def test_zero_delay_chains_run_in_one_pass():
-    clock = VirtualClock()
-    fired = []
-
-    def chain(n):
-        fired.append(n)
-        if n:
-            clock.call_later(0.0, chain, n - 1)
-
-    clock.call_later(0.0, chain, 3)
-    clock.run()
-    assert fired == [3, 2, 1, 0]
-    assert clock.now == 0.0
+# The VirtualClock/AsyncioClock ordering, cancellation and run-until
+# semantics are pinned by the shared clock-contract suite in
+# tests/test_clock_contract.py, which runs every case against BOTH
+# clock implementations.
 
 
 # ---------------------------------------------------------------------------
