@@ -1,0 +1,16 @@
+"""Staging package for the optional mypyc-compiled hot modules.
+
+``tools/build_compiled.py`` stages byte-identical copies of
+``repro/pubsub/matching.py`` (as ``matching``) and ``repro/sim/core.py``
+(as ``sim_core``) here, compiles them with mypyc, and removes the staged
+sources again — so ``repro._compiled.matching`` / ``repro._compiled
+.sim_core`` import *only* when the C extensions were actually built. A
+host that never ran the build sees plain ``ImportError``, which
+:mod:`repro.accel` turns into a :class:`~repro.errors.ConfigurationError`
+naming the build step.
+
+Nothing outside :mod:`repro.accel` may import from this package: the
+pure-Python modules are the default and the single source of truth, and
+the compiled builds are behaviourally identical opt-ins (held to that by
+the conformance fuzzer's cross-engine trace-identity lanes).
+"""

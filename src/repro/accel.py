@@ -1,0 +1,89 @@
+"""Optional mypyc-compiled accelerators for the two hot modules.
+
+``tools/build_compiled.py`` compiles byte-identical copies of
+``repro/pubsub/matching.py`` and ``repro/sim/core.py`` (staged under
+``repro/_compiled/`` as ``matching`` / ``sim_core``) into C extensions
+with mypyc. The pure-Python modules stay the default everywhere; the
+compiled builds are opt-in via the existing engine toggles —
+``matching_engine="counting-compiled"`` and ``sim_engine="lanes-compiled"``
+— and the conformance fuzzer's cross-engine trace-identity lanes are the
+correctness gate, exactly as for ``scan`` vs ``counting``.
+
+This module is the only place that touches ``repro._compiled``: it probes
+for the extensions and raises a :class:`~repro.errors.ConfigurationError`
+naming the build step when a compiled toggle is requested on a host where
+the build never ran (mypyc is an optional extra; CI's ``compiled-smoke``
+job is allowed to skip where it is unavailable).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "compiled_matching_module",
+    "compiled_sim_module",
+    "compiled_matching_engine",
+    "compiled_simulator_class",
+    "compiled_status",
+]
+
+
+def compiled_matching_module() -> Optional[Any]:
+    """The compiled matching module, or None if the extension is absent."""
+    try:
+        from repro._compiled import matching
+    except ImportError:
+        return None
+    return matching
+
+
+def compiled_sim_module() -> Optional[Any]:
+    """The compiled scheduler module, or None if the extension is absent."""
+    try:
+        from repro._compiled import sim_core
+    except ImportError:
+        return None
+    return sim_core
+
+
+def compiled_matching_engine() -> Any:
+    """A ``CountingMatchingEngine`` instance from the compiled build.
+
+    Raises :class:`ConfigurationError` when the extension is absent so a
+    requested ``counting-compiled`` run fails loudly instead of silently
+    measuring the interpreter.
+    """
+    mod = compiled_matching_module()
+    if mod is None:
+        raise ConfigurationError(
+            "matching_engine='counting-compiled' requires the mypyc "
+            "extension; build it with `python tools/build_compiled.py` "
+            "(needs mypy/mypyc installed) or use 'counting'"
+        )
+    return mod.CountingMatchingEngine()
+
+
+def compiled_simulator_class() -> Any:
+    """The compiled ``Simulator`` class (for ``sim_engine='lanes-compiled'``).
+
+    Raises :class:`ConfigurationError` when the extension is absent.
+    """
+    mod = compiled_sim_module()
+    if mod is None:
+        raise ConfigurationError(
+            "sim_engine='lanes-compiled' requires the mypyc extension; "
+            "build it with `python tools/build_compiled.py` (needs "
+            "mypy/mypyc installed) or use 'lanes'"
+        )
+    return mod.Simulator
+
+
+def compiled_status() -> dict[str, bool]:
+    """Which compiled extensions are importable (for smoke jobs / repr)."""
+    return {
+        "matching": compiled_matching_module() is not None,
+        "sim_core": compiled_sim_module() is not None,
+    }

@@ -40,7 +40,10 @@ class Notification:
         Optional additional attributes for general content-based filters.
     """
 
-    __slots__ = ("event_id", "publisher", "seq", "publish_time", "topic", "attrs")
+    __slots__ = (
+        "event_id", "publisher", "seq", "publish_time", "topic", "attrs",
+        "_attr_items",
+    )
 
     def __init__(
         self,
@@ -57,6 +60,23 @@ class Notification:
         self.publish_time = publish_time
         self.topic = topic
         self.attrs = dict(attrs) if attrs else None
+        self._attr_items: Optional[tuple] = None
+
+    def attrs_items(self) -> tuple:
+        """Cached ``tuple(attrs.items())`` (empty when there are none).
+
+        One notification object is shared across its whole fan-out, and the
+        wire codec re-encodes it once per wired hop — the cached pairs
+        tuple makes every encode after the first allocation-free. Valid
+        because events are immutable once published (nothing in the
+        routing/delivery path writes ``attrs``).
+        """
+        items = self._attr_items
+        if items is None:
+            items = self._attr_items = (
+                tuple(self.attrs.items()) if self.attrs else ()
+            )
+        return items
 
     def get(self, attr: str, default: Any = None) -> Any:
         """Attribute lookup used by general filters (``topic`` included)."""

@@ -55,7 +55,7 @@ their scan-based forms for differential testing):
 from __future__ import annotations
 
 from itertools import count
-from operator import itemgetter
+from operator import attrgetter, itemgetter
 from typing import Hashable, Iterable, Optional
 
 from repro.errors import ProtocolError
@@ -68,8 +68,10 @@ from repro.util.ids import QueueId
 
 __all__ = ["ClientEntry", "FilterTable"]
 
-#: valid values for FilterTable(engine=...)
-ENGINE_MODES = ("counting", "scan")
+#: valid values for FilterTable(engine=...); "counting-compiled" is the
+#: mypyc-built CountingMatchingEngine (see repro.accel), behaviourally
+#: identical to "counting"
+ENGINE_MODES = ("counting", "scan", "counting-compiled")
 
 
 class ClientEntry:
@@ -87,7 +89,7 @@ class ClientEntry:
     sink: queue id (broker-local) absorbing events while not live.
     """
 
-    __slots__ = ("client", "key", "filter", "label", "live", "sink")
+    __slots__ = ("client", "key", "filter", "label", "live", "sink", "seq")
 
     def __init__(
         self,
@@ -104,11 +106,19 @@ class ClientEntry:
         self.label = label
         self.live = live
         self.sink = sink
+        # installation order stamped by FilterTable.set_client_entry (the
+        # table's _client_seq for this key, cached on the entry so hot-path
+        # sorts use a C-level attrgetter instead of a dict-lookup lambda)
+        self.seq = 0
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         state = "live" if self.live else f"sink={self.sink}"
         lab = f" label={self.label}" if self.label is not None else ""
         return f"<ClientEntry c{self.client} {state}{lab}>"
+
+
+#: hot-path sort key: installation order cached on the entry
+_ENTRY_SEQ = attrgetter("seq")
 
 
 class _PeerFilters:
@@ -262,7 +272,16 @@ class FilterTable:
         # broker-wide counting engine, kept in sync by every mutator below
         # (None in scan mode). Client-entry insertion order is tracked so
         # engine results replay the scan path's dict-order exactly.
-        self._engine = CountingMatchingEngine() if engine == "counting" else None
+        if engine == "counting":
+            self._engine: Optional[CountingMatchingEngine] = (
+                CountingMatchingEngine()
+            )
+        elif engine == "counting-compiled":
+            from repro.accel import compiled_matching_engine
+
+            self._engine = compiled_matching_engine()
+        else:
+            self._engine = None
         self._client_seq: dict[Hashable, int] = {}
         self._next_seq = count()
         # broker-wide covering index over every withdrawal *candidate*
@@ -380,8 +399,10 @@ class FilterTable:
     # client entries
     # ------------------------------------------------------------------
     def set_client_entry(self, entry: ClientEntry) -> None:
-        if entry.key not in self._client_seq:
-            self._client_seq[entry.key] = next(self._next_seq)
+        key_seq = self._client_seq.get(entry.key)
+        if key_seq is None:
+            key_seq = self._client_seq[entry.key] = next(self._next_seq)
+        entry.seq = key_seq
         prev = self.clients.get(entry.key)
         if prev is not None and prev.client != entry.client:
             self._drop_client_ref(prev)
@@ -407,8 +428,7 @@ class FilterTable:
             return list(bucket.values())
         # several entries (sub-unsub epoch overlap): report them in global
         # installation order, exactly as the old whole-table scan did
-        seq = self._client_seq
-        return sorted(bucket.values(), key=lambda e: seq[e.key])
+        return sorted(bucket.values(), key=_ENTRY_SEQ)
 
     def get_client_entry(self, client: int) -> Optional[ClientEntry]:
         """The unique entry for ``client`` (None if absent).
@@ -480,10 +500,42 @@ class FilterTable:
             if entry.label is not None and entry.label != from_broker:
                 continue
             entries.append(entry)
-        seq = self._client_seq
-        entries.sort(key=lambda e: seq[e.key])
+        entries.sort(key=_ENTRY_SEQ)
         groups.discard(from_broker)
         return sorted(groups), entries
+
+    def match_batch(
+        self, items: list[tuple[Notification, Optional[int]]]
+    ) -> list[tuple[list[int], list[ClientEntry]]]:
+        """:meth:`match` for a batch: ``[self.match(e, f) for e, f in items]``.
+
+        Answer-identical per item (neighbour order, entry order, label
+        handling). With the counting engine the whole batch resolves
+        through one :meth:`CountingMatchingEngine.match_batch` call; scan
+        mode falls back to the per-event path — batching is an engine-path
+        optimisation, the scan lanes exist as the correctness oracle.
+        """
+        if self._engine is None:
+            return [self.match(e, f) for e, f in items]
+        results = self._engine.match_batch([e for e, _f in items])
+        clients = self.clients
+        out: list[tuple[list[int], list[ClientEntry]]] = []
+        out_append = out.append
+        for (event, from_broker), (keys, groups) in zip(items, results):
+            entries: list[ClientEntry] = []
+            for key in keys:
+                entry = clients[key]
+                if entry.label is not None and entry.label != from_broker:
+                    continue
+                entries.append(entry)
+            if len(entries) > 1:
+                entries.sort(key=_ENTRY_SEQ)
+            if groups:
+                groups.discard(from_broker)
+                out_append((sorted(groups), entries))
+            else:
+                out_append(([], entries))
+        return out
 
     def match_neighbors(
         self, event: Notification, exclude: Optional[int]

@@ -278,10 +278,13 @@ class ConjunctionFilter(Filter):
     An empty conjunction matches everything (and covers everything).
     """
 
-    __slots__ = ("constraints",)
+    __slots__ = ("constraints", "_identity")
 
     def __init__(self, constraints: Iterable[AttributeConstraint]) -> None:
         self.constraints = tuple(constraints)
+        # identity() sorts the constraint keys; hashing/equality run on
+        # every engine install and covering probe, so compute lazily once
+        self._identity: Optional[tuple] = None
 
     def matches(self, event: Notification) -> bool:
         for c in self.constraints:
@@ -307,13 +310,17 @@ class ConjunctionFilter(Filter):
         return True
 
     def identity(self) -> tuple:
-        # sort key flattens Op to its string value: two constraints on the
-        # same attribute would otherwise compare unorderable enum members
-        keys = sorted(
-            (c.key() for c in self.constraints),
-            key=lambda k: (k[0], k[1].value, repr(k[2])),
-        )
-        return ("conj", tuple(keys))
+        ident = self._identity
+        if ident is None:
+            # sort key flattens Op to its string value: two constraints on
+            # the same attribute would otherwise compare unorderable enum
+            # members
+            keys = sorted(
+                (c.key() for c in self.constraints),
+                key=lambda k: (k[0], k[1].value, repr(k[2])),
+            )
+            ident = self._identity = ("conj", tuple(keys))
+        return ident
 
     def as_range(self) -> Optional[tuple[str, float, float]]:
         if len(self.constraints) != 1:

@@ -308,24 +308,26 @@ class IntervalIndex:
                 [(lo, hi, k) for k, (lo, hi) in self._items.items()]
             )
         out: list[Hashable] = []
-        while node is not None:
-            center, left, right, by_lo, by_hi = node
+        while node is not None and node[7] <= x <= node[8]:
+            center = node[0]
             if x < center:
-                for lo, k in by_lo:
-                    if lo > x:
-                        break
-                    out.append(k)
-                node = left
+                if node[5] <= x:
+                    for lo, k in node[3]:
+                        if lo > x:
+                            break
+                        out.append(k)
+                node = node[1]
             elif x > center:
-                for hi, k in by_hi:
-                    if hi < x:
-                        break
-                    out.append(k)
-                node = right
+                if node[6] >= x:
+                    for hi, k in node[4]:
+                        if hi < x:
+                            break
+                        out.append(k)
+                node = node[2]
             else:
                 # x == center: every interval at this node contains x; the
                 # left subtree ends before x and the right starts after it
-                out.extend(k for _, k in by_lo)
+                out.extend(k for _, k in node[3])
                 break
         removed = self._tree_removed
         if removed:
@@ -336,12 +338,79 @@ class IntervalIndex:
                     out.append(k)
         return out
 
+    def stab_all_xs(self, xs: list, strict: bool) -> list[list[Hashable]]:
+        """:meth:`stab_all` for a vector of raw event values.
+
+        Returns one result list per value, parallel to ``xs``, with the
+        matching engine's numeric guard fused in: non-numeric and NaN
+        values stab nothing, and ``strict`` additionally rejects bools
+        (non-topic ``RangeFilter`` semantics). For values passing the
+        guard the answer is identical to :meth:`stab_all` — element order
+        included. Fusing the guard lets the batched matching path hand the
+        attribute vector over as-is: no pair/tuple building, no masked
+        copy, one set of hoisted bindings for the whole vector.
+        """
+        root = self._tree
+        if root is None:
+            self._tree_removed.clear()
+            self._tree_extra.clear()
+            root = self._tree = _build_tree(
+                [(lo, hi, k) for k, (lo, hi) in self._items.items()]
+            )
+        removed = self._tree_removed
+        extra = self._tree_extra
+        outs: list[list[Hashable]] = [[] for _ in xs]
+        if root is None:
+            return outs
+        for j, x in enumerate(xs):
+            if (
+                not isinstance(x, (int, float))
+                or x != x
+                or (strict and isinstance(x, bool))
+            ):
+                continue
+            out = outs[j]
+            node = root
+            while node is not None and node[7] <= x <= node[8]:
+                center = node[0]
+                if x < center:
+                    if node[5] <= x:
+                        for lo, k in node[3]:
+                            if lo > x:
+                                break
+                            out.append(k)
+                    node = node[1]
+                elif x > center:
+                    if node[6] >= x:
+                        for hi, k in node[4]:
+                            if hi < x:
+                                break
+                            out.append(k)
+                    node = node[2]
+                else:
+                    out.extend(k for _, k in node[3])
+                    break
+            if removed and out:
+                outs[j] = out = [k for k in out if k not in removed]
+            if extra:
+                for k, (lo, hi) in extra.items():
+                    if lo <= x <= hi:
+                        out.append(k)
+        return outs
+
 
 def _build_tree(items: list[tuple[float, float, Hashable]]) -> Optional[tuple]:
     """Centred interval tree over ``(lo, hi, key)`` triples.
 
     The centre is the median endpoint, so each side holds at most half of
     the endpoints and depth is O(log n) regardless of interval layout.
+
+    Nodes are 9-tuples ``(center, left, right, by_lo, by_hi, lo0, hi0,
+    min_lo, max_hi)``: ``lo0``/``hi0`` are the first endpoints of the mid
+    lists (a probe whose value cannot reach them skips the scan without
+    paying loop setup) and ``min_lo``/``max_hi`` span the whole *subtree*
+    (a probe outside the span stops descending — narrow mobility intervals
+    make most subtrees skippable well before the leaves).
     """
     if not items:
         return None
@@ -356,4 +425,7 @@ def _build_tree(items: list[tuple[float, float, Hashable]]) -> Optional[tuple]:
     first = itemgetter(0)
     by_lo = sorted(((lo, k) for lo, _hi, k in mid), key=first)
     by_hi = sorted(((hi, k) for _lo, hi, k in mid), key=first, reverse=True)
-    return (center, _build_tree(left), _build_tree(right), by_lo, by_hi)
+    return (
+        center, _build_tree(left), _build_tree(right), by_lo, by_hi,
+        by_lo[0][0], by_hi[0][0], endpoints[0], endpoints[-1],
+    )

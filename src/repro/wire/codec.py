@@ -174,13 +174,11 @@ def _write_event(w: _Writer, ev: Notification) -> None:
     w.uint(ev.seq)
     w.f64(ev.publish_time)
     w.f64(ev.topic)
-    if ev.attrs:
-        w.uint(len(ev.attrs))
-        for key, val in ev.attrs.items():
-            w.string(key)
-            _write_value(w, val)
-    else:
-        w.uint(0)
+    items = ev.attrs_items()
+    w.uint(len(items))
+    for key, val in items:
+        w.string(key)
+        _write_value(w, val)
 
 
 def _read_event(r: _Reader) -> Notification:

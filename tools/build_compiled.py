@@ -1,0 +1,120 @@
+#!/usr/bin/env python
+"""Build the optional mypyc extensions for the two hot modules.
+
+Stages byte-identical copies of the pure-Python sources under
+``src/repro/_compiled/`` —
+
+* ``repro/pubsub/matching.py``  -> ``repro/_compiled/matching.py``
+* ``repro/sim/core.py``         -> ``repro/_compiled/sim_core.py``
+
+— compiles them with mypyc, then deletes the staged ``.py`` files so the
+package only exposes the C extensions: an import of
+``repro._compiled.matching`` can never silently fall back to an
+interpreted copy. The compiled modules are opt-in via
+``matching_engine="counting-compiled"`` / ``sim_engine="lanes-compiled"``
+(see :mod:`repro.accel`).
+
+mypyc is an optional extra (it ships with mypy). When it is not
+installed the script prints ``SKIP`` and exits 0 so smoke jobs can run it
+unconditionally; pass ``--require`` to turn that into a failure. A
+compile error always fails the build (exit 1) after cleaning up the
+staged sources.
+
+Usage::
+
+    python tools/build_compiled.py [--require] [--check]
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+SRC = REPO / "src"
+STAGE = SRC / "repro" / "_compiled"
+
+#: (pure-Python source, staged module name)
+MODULES = (
+    (SRC / "repro" / "pubsub" / "matching.py", "matching"),
+    (SRC / "repro" / "sim" / "core.py", "sim_core"),
+)
+
+
+def _mypyc_available() -> bool:
+    try:
+        import mypyc  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+def _status() -> dict:
+    """Probe the built extensions in a fresh interpreter (import caches)."""
+    env = dict(os.environ, PYTHONPATH=str(SRC))
+    out = subprocess.run(
+        [sys.executable, "-c",
+         "from repro.accel import compiled_status; print(compiled_status())"],
+        cwd=REPO, capture_output=True, text=True, env=env,
+    )
+    return {"ok": out.returncode == 0, "stdout": out.stdout.strip(),
+            "stderr": out.stderr.strip()}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Build the optional mypyc extensions (repro._compiled)."
+    )
+    parser.add_argument("--require", action="store_true",
+                        help="fail (exit 2) instead of SKIP when mypyc is "
+                             "not installed")
+    parser.add_argument("--check", action="store_true",
+                        help="only report whether the extensions import")
+    args = parser.parse_args(argv)
+
+    if args.check:
+        status = _status()
+        print(f"compiled extensions: {status['stdout'] or status['stderr']}")
+        return 0 if status["ok"] else 1
+
+    if not _mypyc_available():
+        msg = "mypyc not installed (pip install mypy) — compiled build"
+        if args.require:
+            print(f"FAIL: {msg} required", file=sys.stderr)
+            return 2
+        print(f"SKIP: {msg} skipped; pure-Python engines remain the default")
+        return 0
+
+    staged: list[Path] = []
+    try:
+        for source, name in MODULES:
+            target = STAGE / f"{name}.py"
+            shutil.copyfile(source, target)
+            staged.append(target)
+        result = subprocess.run(
+            [sys.executable, "-m", "mypyc",
+             *(str(path) for path in staged)],
+            cwd=SRC,
+        )
+        if result.returncode != 0:
+            print("FAIL: mypyc compile error (see output above); the "
+                  "pure-Python engines are unaffected", file=sys.stderr)
+            return 1
+    finally:
+        # only the extensions may remain: a staged .py left behind would
+        # let repro._compiled import an interpreted copy and lie about it
+        for path in staged:
+            path.unlink(missing_ok=True)
+        shutil.rmtree(SRC / "build", ignore_errors=True)
+
+    status = _status()
+    print(f"built: {status['stdout'] or status['stderr']}")
+    return 0 if status["ok"] else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
